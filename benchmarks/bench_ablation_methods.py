@@ -1,0 +1,51 @@
+"""Ablation E6: INDVE vs VE vs WE (and the brute-force floor) on one instance family.
+
+Complements Figures 11-12 by running all three exact algorithms of the paper
+on the same ws-sets: independent partitioning + variable elimination (INDVE),
+variable elimination only (VE), and ws-descriptor elimination (WE, Section 6).
+The paper reports that WE follows the easy-hard transition of INDVE but does
+not return to the easy region as quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elimination import descriptor_elimination_probability
+from repro.core.probability import ExactConfig, probability
+from repro.errors import BudgetExceededError
+from repro.workloads.hard import HardCaseParameters
+
+SIZES = (20, 40, 80)
+TIME_LIMIT = 15.0
+
+
+def _parameters(size: int) -> HardCaseParameters:
+    return HardCaseParameters(
+        num_variables=30, alternatives=2, descriptor_length=3,
+        num_descriptors=size, seed=1,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("method", ["indve", "ve", "we"])
+def bench_exact_methods(benchmark, hard_instance_cache, size, method):
+    instance = hard_instance_cache(_parameters(size))
+
+    def run():
+        try:
+            if method == "we":
+                return descriptor_elimination_probability(
+                    instance.ws_set, instance.world_table, time_limit=TIME_LIMIT
+                )
+            config = (
+                ExactConfig.indve("minlog", time_limit=TIME_LIMIT)
+                if method == "indve"
+                else ExactConfig.ve("minlog", time_limit=TIME_LIMIT)
+            )
+            return probability(instance.ws_set, instance.world_table, config)
+        except BudgetExceededError:
+            return float("nan")
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["confidence"] = value

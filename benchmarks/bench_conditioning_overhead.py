@@ -1,0 +1,69 @@
+"""Experiment E8: conditioning overhead over confidence computation.
+
+Section 7 of the paper states that materialising the conditioned structures
+"adds only a small overhead over confidence computation".  These benchmarks
+measure both operations on the same condition ws-sets: plain exact confidence
+versus the full conditioning run (confidence + ΔW + rewritten tuple
+descriptors), using the ws-set's own descriptors as the tuples to rewrite, and
+additionally the end-to-end database-level assert on the SSN-style workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditioning import condition_wsset
+from repro.core.probability import ExactConfig, probability
+from repro.db.constraints import FunctionalDependency
+from repro.workloads.hard import HardCaseParameters
+from repro.workloads.random_instances import random_attribute_level_database
+
+SIZES = (50, 100)
+
+
+def _parameters(size: int) -> HardCaseParameters:
+    return HardCaseParameters(
+        num_variables=200, alternatives=2, descriptor_length=2,
+        num_descriptors=size, seed=3,
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_confidence_only(benchmark, hard_instance_cache, size):
+    instance = hard_instance_cache(_parameters(size))
+    config = ExactConfig.indve("minlog")
+    value = benchmark.pedantic(
+        lambda: probability(instance.ws_set, instance.world_table, config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["confidence"] = value
+
+
+@pytest.mark.parametrize("size", SIZES)
+def bench_full_conditioning(benchmark, hard_instance_cache, size):
+    instance = hard_instance_cache(_parameters(size))
+    config = ExactConfig.indve("minlog")
+    tuples = [(index, descriptor) for index, descriptor in enumerate(instance.ws_set)]
+    result = benchmark.pedantic(
+        lambda: condition_wsset(instance.ws_set, tuples, instance.world_table, config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["confidence"] = result.confidence
+    benchmark.extra_info["new_variables"] = len(result.delta_world_table)
+
+
+def bench_database_level_assert(benchmark):
+    """End-to-end ``assert`` of a functional dependency on an uncertain relation."""
+    import random
+
+    def run():
+        database = random_attribute_level_database(
+            random.Random(11), num_entities=6, num_values=4, max_alternatives=3
+        )
+        fd = FunctionalDependency("R", ["VALUE"], ["ID"])
+        return database.assert_condition(fd).confidence
+
+    value = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.0 < value <= 1.0

@@ -1,0 +1,49 @@
+"""Figure 10 (table): exact confidence of TPC-H queries Q1 and Q2.
+
+The paper reports, for TPC-H scale factors 0.01/0.05/0.10, the number of input
+variables, the answer ws-set size, and the INDVE(minlog) time for the two
+Boolean queries.  These benchmarks regenerate the same rows on the scaled-down
+synthetic TPC-H generator; the structural contrast to reproduce is that Q2
+(single-relation selection, pairwise-independent descriptors) is much cheaper
+than Q1 (three-way join, length-3 descriptors) at equal data size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probability import ExactConfig, probability
+from repro.workloads.tpch import query_q1, query_q2
+
+CONFIG = ExactConfig.indve("minlog")
+
+
+def _run(query, instance):
+    ws_set = query(instance.database)
+    return probability(ws_set, instance.database.world_table, CONFIG), len(ws_set)
+
+
+@pytest.mark.figure("10")
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def bench_small_scale(benchmark, tpch_small, query_name):
+    query = query_q1 if query_name == "q1" else query_q2
+    value, size = benchmark.pedantic(
+        lambda: _run(query, tpch_small), rounds=1, iterations=1
+    )
+    benchmark.extra_info["wsset_size"] = size
+    benchmark.extra_info["input_variables"] = tpch_small.variable_count
+    benchmark.extra_info["confidence"] = value
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.figure("10")
+@pytest.mark.parametrize("query_name", ["q1", "q2"])
+def bench_medium_scale(benchmark, tpch_medium, query_name):
+    query = query_q1 if query_name == "q1" else query_q2
+    value, size = benchmark.pedantic(
+        lambda: _run(query, tpch_medium), rounds=1, iterations=1
+    )
+    benchmark.extra_info["wsset_size"] = size
+    benchmark.extra_info["input_variables"] = tpch_medium.variable_count
+    benchmark.extra_info["confidence"] = value
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,63 @@
+"""Figure 11(a): few variables, many ws-descriptors.
+
+Paper setting: 100 variables, r=4(2), s=4, ws-set sizes 1k-50k, methods
+kl(e.01), indve, kl(e.1), ve.  Scaled-down setting: 16 variables, r=2, s=4,
+ws-set sizes 32-256.  Expected shape (paper findings 2 and 4): the exact
+methods are stable once the ws-set is much larger than the variable set, VE
+is at least as good as INDVE in this regime, and both beat kl(e.01).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.karp_luby import karp_luby_confidence
+from repro.core.probability import ExactConfig, probability
+from repro.workloads.hard import HardCaseParameters
+
+SIZES = (32, 64, 128, 256)
+
+
+def _parameters(size: int) -> HardCaseParameters:
+    return HardCaseParameters(
+        num_variables=16, alternatives=2, descriptor_length=4,
+        num_descriptors=size, seed=0,
+    )
+
+
+@pytest.mark.figure("11a")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("method", ["indve(minlog)", "ve(minlog)"])
+def bench_exact(benchmark, hard_instance_cache, size, method):
+    instance = hard_instance_cache(_parameters(size))
+    config = (
+        ExactConfig.indve("minlog") if method.startswith("indve") else ExactConfig.ve("minlog")
+    )
+    value = benchmark.pedantic(
+        lambda: probability(instance.ws_set, instance.world_table, config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["confidence"] = value
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.figure("11a")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("epsilon", [0.1, 0.01])
+def bench_karp_luby(benchmark, hard_instance_cache, size, epsilon):
+    instance = hard_instance_cache(_parameters(size))
+    result = benchmark.pedantic(
+        lambda: karp_luby_confidence(
+            instance.ws_set,
+            instance.world_table,
+            epsilon,
+            0.01,
+            seed=0,
+            max_iterations=15_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["estimate"] = result.estimate
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,68 @@
+"""Figure 12: the number of variables is close to the ws-set size (easy-hard-easy).
+
+Paper setting: 70 variables, r=4, s=4, ws-set sizes 5-5000, indve(minlog) vs
+kl(e.001).  Scaled-down setting: 30 variables, r=2, s=4, ws-set sizes 10-160.
+Expected shape: exact computation is cheap for tiny ws-sets, becomes hard when
+#descriptors ≈ #variables, and (per the paper) becomes easy again once the
+ws-set is an order of magnitude larger than the variable set; the Karp-Luby
+baseline is comparatively flat and only competitive inside the hard region.
+
+The largest sizes run under an engine time budget (like the paper's 9000s
+cap); a timed-out point shows up as a run at roughly the budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx.karp_luby import karp_luby_confidence
+from repro.core.probability import ExactConfig, probability
+from repro.errors import BudgetExceededError
+from repro.workloads.hard import HardCaseParameters
+
+SIZES = (10, 20, 40, 80, 160)
+TIME_LIMIT = 15.0
+
+
+def _parameters(size: int) -> HardCaseParameters:
+    return HardCaseParameters(
+        num_variables=30, alternatives=2, descriptor_length=4,
+        num_descriptors=size, seed=0,
+    )
+
+
+@pytest.mark.figure("12")
+@pytest.mark.parametrize("size", SIZES)
+def bench_indve(benchmark, hard_instance_cache, size):
+    instance = hard_instance_cache(_parameters(size))
+    config = ExactConfig.indve("minlog", time_limit=TIME_LIMIT)
+
+    def run():
+        try:
+            return probability(instance.ws_set, instance.world_table, config)
+        except BudgetExceededError:
+            return float("nan")
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["confidence"] = value
+    benchmark.extra_info["time_limit"] = TIME_LIMIT
+
+
+@pytest.mark.figure("12")
+@pytest.mark.parametrize("size", (20, 80))
+def bench_karp_luby(benchmark, hard_instance_cache, size):
+    instance = hard_instance_cache(_parameters(size))
+    result = benchmark.pedantic(
+        lambda: karp_luby_confidence(
+            instance.ws_set,
+            instance.world_table,
+            0.01,
+            0.01,
+            seed=0,
+            max_iterations=20_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["estimate"] = result.estimate
+    benchmark.extra_info["iterations"] = result.iterations

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Instances are generated once per session and shared across benchmarks; the
+parameters are scaled down from the paper's so that the full suite finishes in
+minutes on a laptop while preserving the qualitative shape of every figure
+(see EXPERIMENTS.md for the mapping and the measured results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+from repro.workloads.tpch import TPCHGenerator
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): paper figure a benchmark belongs to")
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    """TPC-H-like instance at the smallest benchmark scale factor."""
+    return TPCHGenerator(scale_factor=0.0002, seed=0).generate()
+
+
+@pytest.fixture(scope="session")
+def tpch_medium():
+    """TPC-H-like instance at the middle benchmark scale factor."""
+    return TPCHGenerator(scale_factor=0.0005, seed=0).generate()
+
+
+@pytest.fixture(scope="session")
+def hard_instance_cache():
+    """Memoised access to #P-hard instances keyed by their parameters."""
+    cache: dict[HardCaseParameters, object] = {}
+
+    def get(parameters: HardCaseParameters):
+        if parameters not in cache:
+            cache[parameters] = generate_hard_instance(parameters)
+        return cache[parameters]
+
+    return get

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs work in fully offline environments where the ``wheel``
+package (needed by PEP 517 editable builds) may be unavailable::
+
+    pip install -e . --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

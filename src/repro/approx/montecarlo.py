@@ -1,0 +1,59 @@
+"""Naive Monte-Carlo confidence estimation.
+
+The simplest possible baseline: sample complete worlds from the world table
+and count how many satisfy the ws-set.  Unlike Karp-Luby this is *not* an
+FPRAS — the relative error blows up for low-confidence events because almost
+all samples miss — but it is a useful sanity baseline and is cheap when the
+confidence is large (which is exactly the regime of Figure 11(b), where the
+answer confidence is close to one).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.approx.karp_luby import ApproximationResult
+from repro.approx.stopping import zero_one_estimator_iterations
+from repro.core.wsset import WSSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import WorldTable
+
+
+def naive_monte_carlo_confidence(
+    ws_set: WSSet,
+    world_table: "WorldTable",
+    *,
+    iterations: int | None = None,
+    epsilon: float = 0.05,
+    delta: float = 0.05,
+    seed: int | None = None,
+) -> ApproximationResult:
+    """Estimate the confidence of ``ws_set`` by sampling complete worlds.
+
+    If ``iterations`` is omitted, a Chernoff-style bound guaranteeing an
+    *additive* (ε, δ)-approximation is used.  Only the variables mentioned by
+    the ws-set are sampled; the others are irrelevant to the event.
+    """
+    if ws_set.is_empty:
+        return ApproximationResult(0.0, 0, epsilon, delta, "naive-mc")
+    if ws_set.contains_universal:
+        return ApproximationResult(1.0, 0, epsilon, delta, "naive-mc")
+
+    if iterations is None:
+        iterations = zero_one_estimator_iterations(epsilon, delta)
+    rng = random.Random(seed)
+    mentioned = ws_set.variables()
+    variables = [v for v in world_table.variables if v in mentioned]
+
+    descriptors = [dict(d.items()) for d in ws_set]
+    hits = 0
+    for _ in range(iterations):
+        world = {v: world_table.sample_value(rng, v) for v in variables}
+        if any(
+            all(world.get(var) == value for var, value in descriptor.items())
+            for descriptor in descriptors
+        ):
+            hits += 1
+    return ApproximationResult(hits / iterations, iterations, epsilon, delta, "naive-mc")

@@ -1,0 +1,36 @@
+"""Benchmark harness reproducing the experimental section of the paper.
+
+* :mod:`repro.bench.runner` — timing utilities, method registries and
+  parameter sweeps;
+* :mod:`repro.bench.figures` — one entry point per table/figure of Section 7
+  (Figure 10 through Figure 13 plus the ablations called out in DESIGN.md),
+  each returning a :class:`~repro.bench.runner.SweepResult`;
+* :mod:`repro.bench.reporting` — plain-text and Markdown rendering of the
+  results, used to fill ``EXPERIMENTS.md``.
+
+The ``benchmarks/`` directory at the repository root exposes the same
+experiments as ``pytest-benchmark`` targets; this package is the shared
+engine, also usable directly::
+
+    python -m repro.bench.figures --figure 11a
+"""
+
+from repro.bench.runner import (
+    MeasuredPoint,
+    Series,
+    SweepResult,
+    measure,
+    method_registry,
+)
+from repro.bench.reporting import format_sweep_result, format_table, to_markdown
+
+__all__ = [
+    "MeasuredPoint",
+    "Series",
+    "SweepResult",
+    "measure",
+    "method_registry",
+    "format_sweep_result",
+    "format_table",
+    "to_markdown",
+]

@@ -1,0 +1,124 @@
+"""Brute-force probability computation by world enumeration.
+
+This is the ground-truth baseline: iterate over all possible worlds (total
+valuations of the world table) and sum the probabilities of those represented
+by some descriptor of the input ws-set.  The paper implemented the same
+algorithm but reports that its timing is "extremely bad"; here it serves as
+the reference implementation against which every other algorithm (INDVE, VE,
+WE, Karp-Luby, conditioning) is validated in the test suite.
+
+Two practical refinements keep it usable for tests:
+
+* only the variables actually mentioned by the ws-set need to be enumerated —
+  all other variables are marginalised out by independence;
+* posterior (conditioned) distributions over *instances* can be computed for
+  validating the conditioning algorithm (see
+  :func:`brute_force_posterior_worlds`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
+
+from repro.core.wsset import WSSet
+from repro.errors import ZeroProbabilityConditionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import Value, Variable, WorldTable
+else:
+    Variable = object
+    Value = object
+
+
+def enumerate_worlds(
+    world_table: "WorldTable",
+    variables: Iterable[Variable] | None = None,
+) -> Iterator[tuple[dict, float]]:
+    """Yield ``(world, probability)`` for every total valuation of ``variables``.
+
+    ``variables`` defaults to all variables of the world table.  Probabilities
+    are products of the per-assignment probabilities (variable independence).
+    """
+    for world in world_table.iter_worlds(variables):
+        yield world, world_table.world_probability(world)
+
+
+def world_satisfies(world: Mapping[Variable, Value], ws_set: WSSet) -> bool:
+    """True iff ``world`` extends at least one descriptor of ``ws_set``."""
+    return ws_set.is_satisfied_by(world)
+
+
+def brute_force_probability(
+    ws_set: WSSet,
+    world_table: "WorldTable",
+    *,
+    restrict_to_mentioned_variables: bool = True,
+) -> float:
+    """Exact probability of ``ws_set`` by explicit world enumeration.
+
+    With ``restrict_to_mentioned_variables`` (the default) only worlds over the
+    variables occurring in the ws-set are enumerated; the remaining variables
+    are independent of the event and integrate out to one.
+    """
+    if ws_set.is_empty:
+        return 0.0
+    if ws_set.contains_universal:
+        return 1.0
+    variables: Iterable[Variable] | None
+    if restrict_to_mentioned_variables:
+        mentioned = ws_set.variables()
+        variables = [v for v in world_table.variables if v in mentioned]
+    else:
+        variables = None
+    total = 0.0
+    for world, world_probability in enumerate_worlds(world_table, variables):
+        if ws_set.is_satisfied_by(world):
+            total += world_probability
+    return total
+
+
+def brute_force_conditional_probability(
+    event: WSSet,
+    condition: WSSet,
+    world_table: "WorldTable",
+) -> float:
+    """``P(event | condition)`` by world enumeration (Bayesian conditioning)."""
+    mentioned = event.variables() | condition.variables()
+    variables = [v for v in world_table.variables if v in mentioned]
+    joint = 0.0
+    condition_mass = 0.0
+    for world, world_probability in enumerate_worlds(world_table, variables):
+        if condition.is_satisfied_by(world):
+            condition_mass += world_probability
+            if event.is_satisfied_by(world):
+                joint += world_probability
+    if condition_mass == 0.0:
+        raise ZeroProbabilityConditionError(
+            "conditioning event has probability zero; the posterior is undefined"
+        )
+    return joint / condition_mass
+
+
+def brute_force_posterior_worlds(
+    condition: WSSet,
+    world_table: "WorldTable",
+    variables: Iterable[Variable] | None = None,
+) -> list[tuple[dict, float]]:
+    """The posterior distribution over worlds given ``condition``.
+
+    Returns ``(world, posterior probability)`` pairs for the worlds satisfying
+    the condition, renormalised to sum to one — precisely what Theorem 5.3 says
+    the conditioning algorithm must preserve at the level of instances.
+    """
+    pairs = [
+        (world, world_probability)
+        for world, world_probability in enumerate_worlds(world_table, variables)
+        if condition.is_satisfied_by(world)
+    ]
+    mass = sum(p for _, p in pairs)
+    if mass == 0.0:
+        raise ZeroProbabilityConditionError(
+            "conditioning event has probability zero; the posterior is undefined"
+        )
+    return [(world, p / mass) for world, p in pairs]

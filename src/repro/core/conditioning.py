@@ -1,0 +1,520 @@
+"""The conditioning algorithm (paper, Section 5, Figure 8).
+
+Conditioning (``assert[B]``) removes from a probabilistic database all worlds
+in which the condition ``B`` does not hold and renormalises the remaining
+worlds so that their probabilities again sum to one — *without* enumerating
+worlds.  The algorithm runs the same Davis-Putnam-style recursion as the
+confidence computation and, while returning from the recursion, re-weights the
+branches of each ⊕-node by introducing a **new variable** whose alternative
+probabilities are
+
+    P({x' → i}) = P({x → i}) · c_i / c
+
+where ``c_i`` is the confidence of branch ``i`` and ``c`` the confidence of
+the ⊕-node.  The ws-descriptors of the database tuples that are passed along
+the recursion have the eliminated variable replaced by the new one, extended
+with the branch assignment.
+
+This module implements conditioning at the level of ws-sets and tuple
+descriptors; :meth:`repro.db.database.ProbabilisticDatabase.assert_condition`
+wraps it into the database-level operation and applies simplification rule 1
+(dropping variables that no longer occur in any U-relation).  Simplification
+rules 2 (dropping singleton-domain new variables) and 3 (merging new variables
+with identical weighted alternatives) are applied here.
+
+Reproduction note — the ⊗-case of Figure 8
+------------------------------------------
+Figure 8 handles an ⊗-node (independent partitioning) by passing the *whole*
+tuple set to every child and returning the union of the rewritten tuples,
+without any re-weighting.  Checking the resulting representation against
+brute-force world enumeration shows that this rule does **not** preserve the
+instance distribution required by Theorem 5.3: conditioning on a disjunction
+``C_1 ∨ C_2`` of independent conditions correlates the two variable sets
+("explaining away"), which the independent per-child renormalisation cannot
+express — the paper's own Example 5.2 output assigns tuple ``a1`` posterior
+probability ≈ 0.689 where the true conditional probability is ≈ 0.466.
+
+The default engine therefore renormalises only through variable elimination
+(⊕-nodes), which is provably correct (and verified against brute force in the
+test suite), and recovers most of the lost efficiency by (a) passing tuples
+only into branches they are consistent with, (b) returning tuples unchanged as
+soon as they share no variable with the remaining condition, and (c)
+delegating confidence-only subproblems (no tuples left to rewrite) to the fast
+INDVE probability engine.  The literal Figure 8 ⊗-rule remains available via
+``literal_independence_rule=True`` for comparison; it reproduces the paper's
+printed Example 5.2 output exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.decompose import (
+    Budget,
+    DecompositionStats,
+    connected_components,
+    deduplicate,
+    recursion_guard,
+    remove_subsumed,
+    split_on_variable,
+    to_internal,
+)
+from repro.core.descriptors import WSDescriptor, as_descriptor
+from repro.core.heuristics import count_occurrences, make_heuristic
+from repro.core.probability import ExactConfig, probability_of_descriptors
+from repro.core.wsset import WSSet
+from repro.errors import ConditioningError, ZeroProbabilityConditionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import Value, Variable, WorldTable
+else:
+    Variable = object
+    Value = object
+
+Tag = Hashable
+
+
+@dataclass
+class ConditioningResult:
+    """Output of :func:`condition_wsset`.
+
+    Attributes
+    ----------
+    confidence:
+        The probability of the condition in the *prior* database (``c`` in the
+        paper); the probability of the condition in the posterior is one.
+    delta_world_table:
+        A :class:`~repro.db.world_table.WorldTable` holding only the newly
+        created variables with their renormalised alternative probabilities
+        (the ``ΔW`` relation of Example 5.2).
+    rewritten:
+        ``tag -> list of descriptors``: for every input tuple tag, the
+        descriptors describing the worlds of the *posterior* database in which
+        the tuple is present.  A single input descriptor may be rewritten into
+        several descriptors (one per surviving branch), or into none at all if
+        the tuple exists in no surviving world.
+    variable_sources:
+        ``new variable -> original variable`` for every variable created by
+        the renormalisation.
+    stats:
+        Decomposition statistics of the underlying recursion.
+    """
+
+    confidence: float
+    delta_world_table: WorldTable
+    rewritten: dict
+    variable_sources: dict = field(default_factory=dict)
+    stats: DecompositionStats = field(default_factory=DecompositionStats)
+
+
+def condition_wsset(
+    condition: WSSet,
+    tuples: Sequence[tuple[Tag, WSDescriptor]] | dict,
+    world_table: WorldTable,
+    config: ExactConfig | None = None,
+    *,
+    prune_unrelated: bool = True,
+    drop_singleton_new_variables: bool = True,
+    merge_equal_new_variables: bool = True,
+    literal_independence_rule: bool = False,
+) -> ConditioningResult:
+    """Condition a set of tuple descriptors on a condition ws-set (Figure 8).
+
+    Parameters
+    ----------
+    condition:
+        The ws-set describing the worlds in which the condition holds (e.g.
+        obtained from a Boolean query or from the constraint compiler).  It
+        must denote a nonempty world-set with nonzero probability, otherwise
+        :class:`~repro.errors.ZeroProbabilityConditionError` is raised.
+    tuples:
+        Either a mapping ``tag -> descriptor`` or a sequence of
+        ``(tag, descriptor)`` pairs; tags identify tuples of the U-relations.
+    world_table:
+        The prior world table (it is not modified).
+    config:
+        Engine configuration (INDVE/VE, heuristic, ...); defaults to INDVE
+        with the minlog heuristic.
+    prune_unrelated:
+        Return tuple descriptors unchanged as soon as they share no variable
+        with the remaining condition (their presence condition is independent
+        of it), and delegate confidence-only subproblems to the INDVE engine.
+        Disabling it forces every tuple through the full recursion; the result
+        is the same, only slower and with redundant rewritten copies.
+    drop_singleton_new_variables:
+        Simplification rule 2 of Section 5: new variables with a single
+        surviving alternative (weight one) are not created at all.
+    merge_equal_new_variables:
+        Simplification rule 3: new variables derived from the same original
+        variable with identical weighted alternatives are merged.
+    literal_independence_rule:
+        Use the ⊗-case of Figure 8 exactly as printed (pass all tuples to
+        every independent component and union the results).  This reproduces
+        the paper's Example 5.2 output but does *not* preserve the posterior
+        instance distribution in general — see the module docstring.  Off by
+        default.
+    """
+    # Imported here (not at module level) to keep repro.core importable on its
+    # own: repro.db.database imports this module in turn.
+    from repro.db.world_table import WorldTable
+
+    config = config or ExactConfig()
+    pairs = list(tuples.items()) if isinstance(tuples, dict) else list(tuples)
+    tagged = [(tag, as_descriptor(descriptor)) for tag, descriptor in pairs]
+
+    if condition.is_empty:
+        raise ZeroProbabilityConditionError(
+            "the condition denotes the empty world-set; the posterior is undefined"
+        )
+
+    engine = _ConditioningEngine(
+        world_table,
+        config,
+        prune_unrelated=prune_unrelated,
+        drop_singleton_new_variables=drop_singleton_new_variables,
+        literal_independence_rule=literal_independence_rule,
+    )
+
+    descriptors = deduplicate(to_internal(condition))
+    if config.simplify_subsumed:
+        descriptors = remove_subsumed(descriptors)
+    internal_tuples = [(tag, dict(descriptor.items())) for tag, descriptor in tagged]
+
+    with recursion_guard():
+        confidence, rewritten_internal = engine.run(descriptors, internal_tuples)
+    if confidence <= 0.0:
+        raise ZeroProbabilityConditionError(
+            "the condition has probability zero; the posterior is undefined"
+        )
+
+    delta_rows = engine.new_variable_rows()
+    variable_sources = dict(engine.variable_sources)
+
+    if merge_equal_new_variables:
+        delta_rows, variable_sources, rename = _merge_equal_variables(
+            delta_rows, variable_sources
+        )
+        if rename:
+            rewritten_internal = [
+                (tag, {rename.get(var, var): value for var, value in descriptor.items()})
+                for tag, descriptor in rewritten_internal
+            ]
+
+    delta_world_table = WorldTable()
+    for variable, distribution in delta_rows.items():
+        delta_world_table.add_variable(variable, distribution, normalize=True)
+
+    rewritten: dict = {tag: [] for tag, _ in tagged}
+    for tag, descriptor in rewritten_internal:
+        rewritten[tag].append(WSDescriptor(descriptor))
+
+    return ConditioningResult(
+        confidence=confidence,
+        delta_world_table=delta_world_table,
+        rewritten=rewritten,
+        variable_sources=variable_sources,
+        stats=engine.stats,
+    )
+
+
+class _ConditioningEngine:
+    """Fused ComputeTree ∘ cond recursion (Figures 4 and 8) over plain dicts.
+
+    By default the renormalising recursion uses variable elimination only;
+    independent partitioning is exploited solely for the confidence-only
+    subproblems delegated to the probability engine (see the module
+    docstring for why the literal ⊗-rule of Figure 8 is not sound).
+    """
+
+    def __init__(
+        self,
+        world_table: WorldTable,
+        config: ExactConfig,
+        *,
+        prune_unrelated: bool,
+        drop_singleton_new_variables: bool,
+        literal_independence_rule: bool = False,
+    ) -> None:
+        self.world_table = world_table
+        self.config = config
+        self.heuristic = make_heuristic(config.heuristic)
+        self.budget = Budget(config.max_calls, config.time_limit)
+        self.stats = DecompositionStats()
+        self.prune_unrelated = prune_unrelated
+        self.drop_singleton_new_variables = drop_singleton_new_variables
+        self.literal_independence_rule = literal_independence_rule
+        # new variable -> {value: unnormalised weight}; normalised at the end.
+        self._new_variables: dict = {}
+        self.variable_sources: dict = {}
+        self._fresh_counter = 0
+
+    # -- public entry point ---------------------------------------------
+    def run(self, descriptors, tuples):
+        return self._cond(descriptors, list(tuples), depth=0)
+
+    # -- recursion --------------------------------------------------------
+    def _cond(self, descriptors, tuples, depth):
+        self.budget.tick()
+        self.stats.recursive_calls += 1
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+
+        if not descriptors:
+            self.stats.bottom_nodes += 1
+            return 0.0, []
+        if any(not descriptor for descriptor in descriptors):
+            # The ∅ leaf: the whole (remaining) world-set survives, no
+            # re-weighting is necessary and the tuples pass through unchanged.
+            self.stats.leaf_nodes += 1
+            return 1.0, list(tuples)
+
+        if self.config.subsumption_every_step:
+            descriptors = remove_subsumed(descriptors)
+
+        if self.literal_independence_rule and self.config.use_independent_partitioning:
+            components = connected_components(descriptors)
+            if len(components) > 1:
+                return self._cond_independent(components, tuples, depth)
+
+        if self.prune_unrelated:
+            condition_variables: set = set()
+            for descriptor in descriptors:
+                condition_variables.update(descriptor)
+            related = [
+                (tag, d) for tag, d in tuples if condition_variables & d.keys()
+            ]
+            unrelated = [
+                (tag, d) for tag, d in tuples if not (condition_variables & d.keys())
+            ]
+            if not related:
+                # Nothing left to rewrite below this point: only the branch
+                # confidence matters, so delegate to the fast exact engine.
+                confidence = probability_of_descriptors(
+                    descriptors, self.world_table, self.config, budget=self.budget
+                )
+                return confidence, unrelated
+            confidence, rewritten = self._cond_eliminate(descriptors, related, depth)
+            if confidence == 0.0:
+                return 0.0, []
+            return confidence, rewritten + unrelated
+
+        return self._cond_eliminate(descriptors, tuples, depth)
+
+    def _cond_independent(self, components, tuples, depth):
+        """⊗-node: condition each independent component; no re-weighting."""
+        self.stats.independent_nodes += 1
+        complement = 1.0
+        rewritten = []
+        if self.prune_unrelated:
+            component_variables = []
+            for component in components:
+                variables = set()
+                for descriptor in component:
+                    variables.update(descriptor)
+                component_variables.append(variables)
+            claimed: set[int] = set()
+            for component, variables in zip(components, component_variables):
+                child_tuples = []
+                for index, (tag, descriptor) in enumerate(tuples):
+                    if variables & descriptor.keys():
+                        child_tuples.append((tag, descriptor))
+                        claimed.add(index)
+                child_confidence, child_rewritten = self._cond(
+                    component, child_tuples, depth + 1
+                )
+                complement *= 1.0 - child_confidence
+                rewritten.extend(child_rewritten)
+            # Tuples touching none of the components pass through unchanged.
+            rewritten.extend(
+                pair for index, pair in enumerate(tuples) if index not in claimed
+            )
+        else:
+            for component in components:
+                child_confidence, child_rewritten = self._cond(
+                    component, list(tuples), depth + 1
+                )
+                complement *= 1.0 - child_confidence
+                rewritten.extend(child_rewritten)
+        return 1.0 - complement, rewritten
+
+    def _cond_eliminate(self, descriptors, tuples, depth):
+        """⊕-node: eliminate a variable, renormalise its surviving branches."""
+        occurrences = count_occurrences(descriptors)
+        if self.prune_unrelated and tuples:
+            # Prefer eliminating variables the remaining tuples depend on, so
+            # that the rewriting spine stays short and the rest of the
+            # condition can be delegated to the confidence-only engine.
+            tuple_variables: set = set()
+            for _, descriptor in tuples:
+                tuple_variables.update(descriptor)
+            shared = {
+                variable: counts
+                for variable, counts in occurrences.items()
+                if variable in tuple_variables
+            }
+            if shared:
+                occurrences = shared
+        variable = self.heuristic.select_variable(
+            occurrences, len(descriptors), self.world_table
+        )
+        self.stats.eliminated_variables.append(variable)
+        self.stats.variable_nodes += 1
+        by_value, unmentioned = split_on_variable(descriptors, variable)
+
+        branch_results = []  # (value, prior weight, branch confidence, rewritten tuples)
+        for value in self.world_table.domain(variable):
+            weight = self.world_table.probability(variable, value)
+            if weight == 0.0:
+                continue
+            if value in by_value:
+                subset = deduplicate(by_value[value] + unmentioned)
+            else:
+                subset = list(unmentioned)
+            if not subset:
+                # ⊥ branch: no surviving world assigns this value.
+                continue
+            branch_tuples = [
+                (tag, descriptor)
+                for tag, descriptor in tuples
+                if descriptor.get(variable, value) == value
+            ]
+            branch_confidence, branch_rewritten = self._cond(
+                subset, branch_tuples, depth + 1
+            )
+            branch_results.append((value, weight, branch_confidence, branch_rewritten))
+
+        node_confidence = sum(
+            weight * branch_confidence
+            for _, weight, branch_confidence, _ in branch_results
+        )
+        if node_confidence == 0.0:
+            return 0.0, []
+
+        surviving = [
+            (value, weight, branch_confidence, branch_rewritten)
+            for value, weight, branch_confidence, branch_rewritten in branch_results
+            if branch_confidence > 0.0
+        ]
+
+        if self.drop_singleton_new_variables and len(surviving) == 1:
+            # Simplification rule 2: a single surviving alternative would get
+            # weight one; drop the new variable entirely and just strip the
+            # eliminated variable from the rewritten descriptors.
+            _, _, _, branch_rewritten = surviving[0]
+            rewritten = [
+                (tag, {k: v for k, v in descriptor.items() if k != variable})
+                for tag, descriptor in branch_rewritten
+            ]
+            return node_confidence, rewritten
+
+        new_variable = self._fresh_variable(variable)
+        distribution = {}
+        rewritten = []
+        for value, weight, branch_confidence, branch_rewritten in surviving:
+            distribution[value] = weight * branch_confidence / node_confidence
+            for tag, descriptor in branch_rewritten:
+                updated = {k: v for k, v in descriptor.items() if k != variable}
+                updated[new_variable] = value
+                rewritten.append((tag, updated))
+        self._new_variables[new_variable] = distribution
+        self.variable_sources[new_variable] = variable
+        return node_confidence, rewritten
+
+    # -- new-variable bookkeeping ----------------------------------------
+    def _fresh_variable(self, source):
+        """A fresh variable name derived from ``source`` (``x`` → ``x'``, ``x''``, ...)."""
+        self._fresh_counter += 1
+        if isinstance(source, str):
+            candidate = source + "'"
+            while candidate in self.world_table or candidate in self._new_variables:
+                candidate += "'"
+            return candidate
+        candidate = (source, "prime", self._fresh_counter)
+        while candidate in self.world_table or candidate in self._new_variables:
+            self._fresh_counter += 1
+            candidate = (source, "prime", self._fresh_counter)
+        return candidate
+
+    def new_variable_rows(self) -> dict:
+        """``new variable -> {value: weight}`` for all created variables."""
+        return {variable: dict(dist) for variable, dist in self._new_variables.items()}
+
+
+def _merge_equal_variables(delta_rows: dict, variable_sources: dict):
+    """Simplification rule 3: merge new variables with identical sources and weights.
+
+    Returns the merged ``delta_rows``, the updated ``variable_sources`` and the
+    renaming ``dropped variable -> kept variable`` to apply to descriptors.
+    """
+    representative: dict = {}
+    rename: dict = {}
+    merged_rows: dict = {}
+    merged_sources: dict = {}
+    for variable, distribution in delta_rows.items():
+        source = variable_sources.get(variable)
+        key = (
+            source,
+            tuple(
+                sorted(
+                    ((value, round(weight, 12)) for value, weight in distribution.items()),
+                    key=lambda item: repr(item[0]),
+                )
+            ),
+        )
+        if key in representative:
+            rename[variable] = representative[key]
+            continue
+        representative[key] = variable
+        merged_rows[variable] = distribution
+        merged_sources[variable] = source
+    return merged_rows, merged_sources, rename
+
+
+def conditioned_world_table(
+    world_table: WorldTable,
+    result: ConditioningResult,
+    used_variables: Iterable | None = None,
+) -> WorldTable:
+    """Combine the prior world table with the ΔW of a conditioning result.
+
+    ``used_variables``, when given, restricts the output to variables actually
+    occurring in the rewritten descriptors (simplification rule 1 of Section
+    5); the database facade passes the variables used across *all* of its
+    U-relations.
+    """
+    combined = world_table.merged_with(result.delta_world_table)
+    if used_variables is None:
+        return combined
+    keep = set(used_variables)
+    missing = keep - set(combined.variables)
+    if missing:
+        raise ConditioningError(
+            f"rewritten descriptors use variables missing from the world table: {missing!r}"
+        )
+    return combined.restrict(keep)
+
+
+def posterior_probability(
+    event: WSSet,
+    condition: WSSet,
+    world_table: WorldTable,
+    config: ExactConfig | None = None,
+) -> float:
+    """``P(event | condition)`` computed as ``P(event ∧ condition) / P(condition)``.
+
+    This is the two-confidence-computation formulation of the introduction of
+    the paper; it does not materialise the conditioned database.
+    """
+    from repro.core.probability import probability as exact_probability
+
+    joint = exact_probability(event.intersect(condition), world_table, config)
+    condition_mass = exact_probability(condition, world_table, config)
+    if condition_mass == 0.0:
+        raise ZeroProbabilityConditionError(
+            "the condition has probability zero; the posterior is undefined"
+        )
+    result = joint / condition_mass
+    # Guard against floating-point drift pushing the ratio slightly above one.
+    return min(1.0, result) if result > 1.0 and math.isclose(result, 1.0) else result

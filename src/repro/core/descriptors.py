@@ -1,0 +1,307 @@
+"""World-set descriptors (paper, Sections 2 and 3.1).
+
+A *world-set descriptor* (ws-descriptor) is a functional set of assignments
+``variable -> value``, i.e. a partial function from variables to domain
+values.  A total descriptor identifies a single possible world; a partial
+descriptor denotes all worlds obtained by extending it to a total valuation.
+The empty descriptor denotes the set of all possible worlds.
+
+All the properties studied in Section 3.1 — consistency, mutual exclusion
+(mutex), independence and containment — are purely syntactic and implemented
+here without reference to a world table:
+
+* ``d1`` and ``d2`` are **consistent** iff their union is functional;
+* they are **mutex** iff some variable is assigned differently in both;
+* they are **independent** iff they share no variable;
+* ``d1`` is **contained** in ``d2`` iff ``d1`` extends ``d2``
+  (every assignment of ``d2`` is also in ``d1``).
+
+The only property that additionally depends on the world table is the
+probability ``P(d)``, the product of the probabilities of the assignments
+(see :meth:`WSDescriptor.probability`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING
+
+from repro.errors import DescriptorError, InconsistentDescriptorError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.db.world_table import Value, Variable, WorldTable
+else:  # runtime aliases keep annotations resolvable without the import cycle
+    Variable = object
+    Value = object
+
+
+def _sort_key(item: tuple[object, object]) -> tuple[str, str]:
+    """Deterministic ordering for heterogeneous variable/value types."""
+    variable, value = item
+    return (repr(variable), repr(value))
+
+
+class WSDescriptor:
+    """An immutable, hashable world-set descriptor.
+
+    Parameters
+    ----------
+    assignments:
+        A mapping ``variable -> value`` or an iterable of ``(variable, value)``
+        pairs.  The pairs must be functional: listing the same variable twice
+        with different values raises :class:`~repro.errors.DescriptorError`.
+
+    Examples
+    --------
+    >>> d = WSDescriptor({"j": 1, "b": 4})
+    >>> d.variables == frozenset({"j", "b"})
+    True
+    >>> d.is_consistent_with(WSDescriptor({"j": 1}))
+    True
+    >>> d.is_mutex_with(WSDescriptor({"j": 7}))
+    True
+    """
+
+    __slots__ = ("_assignments", "_hash")
+
+    def __init__(
+        self,
+        assignments: Mapping[Variable, Value] | Iterable[tuple[Variable, Value]] = (),
+    ) -> None:
+        if isinstance(assignments, Mapping):
+            mapping = dict(assignments)
+        else:
+            mapping = {}
+            for variable, value in assignments:
+                if variable in mapping and mapping[variable] != value:
+                    raise DescriptorError(
+                        f"descriptor is not functional: {variable!r} assigned to both "
+                        f"{mapping[variable]!r} and {value!r}"
+                    )
+                mapping[variable] = value
+        self._assignments: dict[Variable, Value] = mapping
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __bool__(self) -> bool:
+        # A descriptor is always a meaningful object, even when empty (it then
+        # denotes the full world-set), so truthiness follows "non-empty".
+        return bool(self._assignments)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._assignments)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._assignments
+
+    def __getitem__(self, variable: Variable) -> Value:
+        return self._assignments[variable]
+
+    def get(self, variable: Variable, default: Value | None = None) -> Value | None:
+        """The value assigned to ``variable``, or ``default`` if unassigned."""
+        return self._assignments.get(variable, default)
+
+    def items(self) -> Iterator[tuple[Variable, Value]]:
+        """Iterate over ``(variable, value)`` assignment pairs."""
+        return iter(self._assignments.items())
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """The set of variables this descriptor assigns."""
+        return frozenset(self._assignments)
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the nullary descriptor denoting all possible worlds."""
+        return not self._assignments
+
+    def as_dict(self) -> dict[Variable, Value]:
+        """A mutable copy of the assignment mapping."""
+        return dict(self._assignments)
+
+    def sorted_items(self) -> tuple[tuple[Variable, Value], ...]:
+        """Assignments in a deterministic (repr-based) order."""
+        return tuple(sorted(self._assignments.items(), key=_sort_key))
+
+    # ------------------------------------------------------------------
+    # Section 3.1 properties
+    # ------------------------------------------------------------------
+    def is_consistent_with(self, other: "WSDescriptor") -> bool:
+        """True iff the union of the two descriptors is functional."""
+        small, large = self._ordered_by_size(other)
+        for variable, value in small._assignments.items():
+            other_value = large._assignments.get(variable, value)
+            if other_value != value:
+                return False
+        return True
+
+    def is_mutex_with(self, other: "WSDescriptor") -> bool:
+        """True iff the descriptors denote disjoint world-sets.
+
+        Syntactically: some variable is assigned different values by the two
+        descriptors.  (Variables with singleton domains are assumed to have
+        been eliminated, as in the paper.)
+        """
+        return not self.is_consistent_with(other)
+
+    def is_independent_of(self, other: "WSDescriptor") -> bool:
+        """True iff the two descriptors share no variable."""
+        small, large = self._ordered_by_size(other)
+        return not any(variable in large._assignments for variable in small._assignments)
+
+    def is_contained_in(self, other: "WSDescriptor") -> bool:
+        """True iff every world of ``self`` is a world of ``other``.
+
+        Syntactically: ``self`` extends ``other`` (assignment-set superset).
+        """
+        if len(other) > len(self):
+            return False
+        for variable, value in other._assignments.items():
+            if self._assignments.get(variable, _MISSING) != value:
+                return False
+        return True
+
+    def is_equivalent_to(self, other: "WSDescriptor") -> bool:
+        """Mutual containment, i.e. equality of assignment sets."""
+        return self._assignments == other._assignments
+
+    # ------------------------------------------------------------------
+    # Construction of derived descriptors
+    # ------------------------------------------------------------------
+    def union(self, other: "WSDescriptor") -> "WSDescriptor":
+        """The descriptor denoting the *intersection* of the two world-sets.
+
+        Raises :class:`~repro.errors.InconsistentDescriptorError` if the two
+        descriptors are inconsistent (their world-sets are disjoint).
+        """
+        if not self.is_consistent_with(other):
+            raise InconsistentDescriptorError(
+                f"cannot combine inconsistent descriptors {self} and {other}"
+            )
+        combined = dict(self._assignments)
+        combined.update(other._assignments)
+        return WSDescriptor(combined)
+
+    def intersect(self, other: "WSDescriptor") -> "WSDescriptor | None":
+        """Like :meth:`union` but returns ``None`` on inconsistency instead of raising."""
+        if not self.is_consistent_with(other):
+            return None
+        combined = dict(self._assignments)
+        combined.update(other._assignments)
+        return WSDescriptor(combined)
+
+    def extended(self, variable: Variable, value: Value) -> "WSDescriptor":
+        """A new descriptor with ``variable -> value`` added.
+
+        Raises if ``variable`` is already assigned to a different value.
+        """
+        existing = self._assignments.get(variable, _MISSING)
+        if existing is not _MISSING and existing != value:
+            raise InconsistentDescriptorError(
+                f"cannot extend {self} with {variable!r} -> {value!r}: already "
+                f"assigned to {existing!r}"
+            )
+        combined = dict(self._assignments)
+        combined[variable] = value
+        return WSDescriptor(combined)
+
+    def without(self, variables: Iterable[Variable]) -> "WSDescriptor":
+        """A new descriptor with the given variables' assignments removed."""
+        drop = set(variables)
+        return WSDescriptor(
+            {v: value for v, value in self._assignments.items() if v not in drop}
+        )
+
+    def restricted_to(self, variables: Iterable[Variable]) -> "WSDescriptor":
+        """A new descriptor keeping only the given variables' assignments."""
+        keep = set(variables)
+        return WSDescriptor(
+            {v: value for v, value in self._assignments.items() if v in keep}
+        )
+
+    def renamed(self, renaming: Mapping[Variable, Variable]) -> "WSDescriptor":
+        """A new descriptor with variables renamed according to ``renaming``.
+
+        Variables not mentioned in ``renaming`` are kept unchanged.  Used by
+        the conditioning algorithm when replacing an eliminated variable by a
+        freshly created one.
+        """
+        return WSDescriptor(
+            {renaming.get(v, v): value for v, value in self._assignments.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def is_satisfied_by(self, world: Mapping[Variable, Value]) -> bool:
+        """True iff the total valuation ``world`` extends this descriptor."""
+        for variable, value in self._assignments.items():
+            if variable not in world or world[variable] != value:
+                return False
+        return True
+
+    def probability(self, world_table: "WorldTable") -> float:
+        """``P(d)``: the product of the probabilities of the assignments."""
+        return world_table.assignment_probability(self._assignments.items())
+
+    def difference_from(self, other: "WSDescriptor") -> dict[Variable, Value]:
+        """Assignments of ``other`` that are not assignments of ``self`` (``other - self``)."""
+        return {
+            variable: value
+            for variable, value in other._assignments.items()
+            if self._assignments.get(variable, _MISSING) != value
+        }
+
+    # ------------------------------------------------------------------
+    # Hashing / equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WSDescriptor):
+            return NotImplemented
+        return self._assignments == other._assignments
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._assignments.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._assignments:
+            return "{∅}"
+        inner = ", ".join(f"{v!r}→{value!r}" for v, value in self.sorted_items())
+        return "{" + inner + "}"
+
+    def _ordered_by_size(self, other: "WSDescriptor") -> tuple["WSDescriptor", "WSDescriptor"]:
+        """Return ``(smaller, larger)`` to keep pairwise checks O(min(|d1|, |d2|))."""
+        if len(self) <= len(other):
+            return self, other
+        return other, self
+
+
+class _Missing:
+    """Sentinel distinguishing "unassigned" from an explicit ``None`` value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid only
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+#: The nullary descriptor, denoting the set of all possible worlds.
+EMPTY_DESCRIPTOR = WSDescriptor()
+
+
+def as_descriptor(
+    value: "WSDescriptor | Mapping[Variable, Value] | Iterable[tuple[Variable, Value]]",
+) -> WSDescriptor:
+    """Coerce mappings / pair-iterables into :class:`WSDescriptor` instances."""
+    if isinstance(value, WSDescriptor):
+        return value
+    return WSDescriptor(value)

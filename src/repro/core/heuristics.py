@@ -1,0 +1,234 @@
+"""Variable-choice heuristics for the Davis-Putnam-style decomposition (paper, Section 4.2).
+
+When the decomposition of a ws-set has to fall back to variable elimination,
+the choice of variable greatly influences the size of the resulting ws-tree
+(the classic variable-ordering problem of BDDs).  The paper proposes two
+heuristics and benchmarks them against each other in Figure 13:
+
+* **minlog** (Figure 6): choose the variable minimising
+  ``log2(Σ_i 2^{s_i})`` where ``s_i = |S_{x→i} ∪ T|`` is the size of the
+  sub-problem created for alternative ``i`` (``T`` being the descriptors not
+  mentioning ``x``).  The estimate is accumulated in log-space exactly as in
+  Figure 6 to avoid huge intermediate numbers.
+* **minmax**: choose the variable minimising ``max_i |S_{x→i} ∪ T|`` — cheaper
+  to evaluate but blind to the number of large branches (Remark 4.6 gives a
+  scenario where it is suboptimal).
+
+For ablation experiments three extra strategies are provided: the first
+variable encountered, the most frequently occurring variable, and a seeded
+random choice.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import Value, Variable, WorldTable
+else:
+    Variable = object
+    Value = object
+
+#: Per-variable occurrence statistics gathered in one pass over the ws-set:
+#: ``occurrences[x][i]`` is the number of descriptors containing ``x -> i``.
+OccurrenceCounts = Mapping[Variable, Mapping[Value, int]]
+
+
+class Heuristic:
+    """Base class: scores candidate variables and picks the minimum-score one."""
+
+    #: Human-readable name used by :func:`make_heuristic` and benchmark reports.
+    name = "abstract"
+
+    def estimate(
+        self,
+        variable: Variable,
+        value_counts: Mapping[Value, int],
+        t_size: int,
+        domain_size: int,
+    ) -> float:
+        """Score for eliminating ``variable``; lower is better.
+
+        Parameters
+        ----------
+        variable:
+            The candidate variable.
+        value_counts:
+            ``value -> number of descriptors containing variable -> value``
+            (only values that actually occur are present).
+        t_size:
+            Number of descriptors *not* mentioning the variable (the ``T`` set
+            of Figure 4, which is copied into every branch).
+        domain_size:
+            Size of the variable's domain in the world table.
+        """
+        raise NotImplementedError
+
+    def select_variable(
+        self,
+        occurrences: OccurrenceCounts,
+        descriptor_count: int,
+        world_table: "WorldTable",
+    ) -> Variable:
+        """Pick the variable with the smallest estimate (ties: first seen)."""
+        best_variable = None
+        best_score = math.inf
+        for variable, value_counts in occurrences.items():
+            mentioned = sum(value_counts.values())
+            t_size = descriptor_count - mentioned
+            score = self.estimate(
+                variable, value_counts, t_size, world_table.domain_size(variable)
+            )
+            if score < best_score:
+                best_score = score
+                best_variable = variable
+        if best_variable is None:  # pragma: no cover - callers never pass empty stats
+            raise ValueError("cannot select a variable from an empty ws-set")
+        return best_variable
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MinLogHeuristic(Heuristic):
+    """The minlog heuristic of Figure 6 (log-space cost estimate, base 2)."""
+
+    name = "minlog"
+
+    def __init__(self, base: float = 2.0) -> None:
+        if base <= 1.0:
+            raise ValueError("the cost-estimate base must be greater than one")
+        self.base = base
+
+    def estimate(
+        self,
+        variable: Variable,
+        value_counts: Mapping[Value, int],
+        t_size: int,
+        domain_size: int,
+    ) -> float:
+        base = self.base
+        log = math.log
+        # Branch sizes s_i = |S_{x->i} ∪ T| for the values that occur in S.
+        sizes = [count + t_size for count in value_counts.values() if count > 0]
+        missing_assignment = len(value_counts) < domain_size or any(
+            count == 0 for count in value_counts.values()
+        )
+        estimate = float(t_size) if missing_assignment else 0.0
+        for size in sizes:
+            # e := e + log_base(1 + base^(size - e)), i.e. log-sum-exp accumulation.
+            exponent = size - estimate
+            if exponent > 60:
+                # base**exponent would overflow long before this point matters;
+                # log_base(1 + base**exponent) ≈ exponent for large exponents.
+                estimate += exponent
+            else:
+                estimate += log(1.0 + base**exponent) / log(base)
+        return estimate
+
+
+class MinMaxHeuristic(Heuristic):
+    """The minmax heuristic: minimise the largest branch ``|S_{x→i} ∪ T|``."""
+
+    name = "minmax"
+
+    def estimate(
+        self,
+        variable: Variable,
+        value_counts: Mapping[Value, int],
+        t_size: int,
+        domain_size: int,
+    ) -> float:
+        sizes = [count + t_size for count in value_counts.values() if count > 0]
+        missing_assignment = len(value_counts) < domain_size or any(
+            count == 0 for count in value_counts.values()
+        )
+        if missing_assignment:
+            sizes.append(t_size)
+        return float(max(sizes)) if sizes else 0.0
+
+
+class FirstVariableHeuristic(Heuristic):
+    """Ablation baseline: take the first candidate variable, ignoring statistics."""
+
+    name = "first"
+
+    def estimate(self, variable, value_counts, t_size, domain_size) -> float:
+        return 0.0
+
+    def select_variable(self, occurrences, descriptor_count, world_table):
+        return next(iter(occurrences))
+
+
+class MostFrequentHeuristic(Heuristic):
+    """Ablation baseline: eliminate the variable occurring in most descriptors.
+
+    This is the classic "max-occurrence" Davis-Putnam branching rule; it tends
+    to shrink ``T`` fast but ignores how evenly the occurrences split across
+    the variable's alternatives.
+    """
+
+    name = "frequency"
+
+    def estimate(self, variable, value_counts, t_size, domain_size) -> float:
+        return -float(sum(value_counts.values()))
+
+
+class RandomHeuristic(Heuristic):
+    """Ablation baseline: uniformly random variable choice (seeded, reproducible)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def estimate(self, variable, value_counts, t_size, domain_size) -> float:
+        return self._rng.random()
+
+
+_HEURISTICS = {
+    "minlog": MinLogHeuristic,
+    "minmax": MinMaxHeuristic,
+    "first": FirstVariableHeuristic,
+    "frequency": MostFrequentHeuristic,
+    "random": RandomHeuristic,
+}
+
+
+def make_heuristic(name: "str | Heuristic", **kwargs) -> Heuristic:
+    """Create a heuristic by name (``minlog``, ``minmax``, ``first``, ``frequency``, ``random``).
+
+    Passing an existing :class:`Heuristic` instance returns it unchanged, so
+    API entry points can accept either form.
+    """
+    if isinstance(name, Heuristic):
+        return name
+    try:
+        factory = _HEURISTICS[name]
+    except KeyError:
+        known = ", ".join(sorted(_HEURISTICS))
+        raise ValueError(f"unknown heuristic {name!r}; known heuristics: {known}") from None
+    return factory(**kwargs)
+
+
+def available_heuristics() -> tuple[str, ...]:
+    """Names accepted by :func:`make_heuristic`."""
+    return tuple(sorted(_HEURISTICS))
+
+
+def count_occurrences(descriptors: Sequence[Mapping[Variable, Value]]) -> dict:
+    """Gather ``variable -> value -> count`` statistics in one pass over a ws-set.
+
+    The input descriptors are plain mappings (the internal representation used
+    by the decomposition engine) or :class:`~repro.core.descriptors.WSDescriptor`
+    instances — anything supporting ``.items()``.
+    """
+    occurrences: dict[Variable, dict[Value, int]] = {}
+    for descriptor in descriptors:
+        for variable, value in descriptor.items():
+            by_value = occurrences.setdefault(variable, {})
+            by_value[value] = by_value.get(value, 0) + 1
+    return occurrences

@@ -1,0 +1,268 @@
+"""Exact confidence computation (paper, Section 4.3, Figure 7).
+
+The probability of a ws-set is computed by the same recursion as ComputeTree
+(Figure 4) with the node constructors replaced by the probability equations of
+Figure 7 — the composition ``ComputeTree ∘ P`` described in the paper, which
+never materialises the ws-tree:
+
+* ⊗-node (independent partitioning):  ``P = 1 − Π_i (1 − P(S_i))``
+* ⊕-node (variable elimination):      ``P = Σ_i P({x → i}) · P(S_{x→i} ∪ T)``
+* ∅ leaf: ``P = 1``;   ⊥ leaf: ``P = 0``
+
+Two algorithm variants of the experimental section are obtained through
+:class:`ExactConfig`:
+
+* **INDVE** — independent partitioning + variable elimination (the default);
+* **VE** — variable elimination only.
+
+plus the heuristic choice (``minlog`` / ``minmax`` / ablation heuristics) and
+two optional engineering knobs evaluated in the ablation benchmarks:
+subsumption simplification and memoisation of repeated sub-ws-sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.core.decompose import (
+    Budget,
+    DecompositionStats,
+    connected_components,
+    deduplicate,
+    recursion_guard,
+    remove_subsumed,
+    split_on_variable,
+    to_internal,
+)
+from repro.core.heuristics import Heuristic, count_occurrences, make_heuristic
+from repro.core.wsset import WSSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import WorldTable
+
+
+@dataclass(frozen=True)
+class ExactConfig:
+    """Configuration of the exact confidence-computation engine.
+
+    Attributes
+    ----------
+    use_independent_partitioning:
+        ``True`` gives INDVE, ``False`` gives plain VE (Section 7, "Algorithms").
+    heuristic:
+        Variable-elimination heuristic: a name accepted by
+        :func:`repro.core.heuristics.make_heuristic` or an instance.
+    simplify_subsumed:
+        Remove subsumed descriptors before starting (Example 3.2).
+    subsumption_every_step:
+        Additionally remove subsumed descriptors at every recursive call;
+        costlier but can expose more independence. Ablation knob.
+    memoize:
+        Cache results of repeated sub-ws-sets (keyed by the canonical frozen
+        form of the descriptors).  Not part of the paper's algorithm; an
+        ablation/extension knob in the spirit of BDD node sharing.
+    max_calls, time_limit:
+        Optional budget limits forwarded to :class:`~repro.core.decompose.Budget`.
+    """
+
+    use_independent_partitioning: bool = True
+    heuristic: "str | Heuristic" = "minlog"
+    simplify_subsumed: bool = True
+    subsumption_every_step: bool = False
+    memoize: bool = False
+    max_calls: int | None = None
+    time_limit: float | None = None
+
+    @classmethod
+    def indve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":
+        """The INDVE configuration (independent partitioning + variable elimination)."""
+        return cls(use_independent_partitioning=True, heuristic=heuristic, **kwargs)
+
+    @classmethod
+    def ve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":
+        """The VE configuration (variable elimination only)."""
+        return cls(use_independent_partitioning=False, heuristic=heuristic, **kwargs)
+
+    def with_heuristic(self, heuristic: "str | Heuristic") -> "ExactConfig":
+        """A copy of this configuration with a different heuristic."""
+        return replace(self, heuristic=heuristic)
+
+    @property
+    def label(self) -> str:
+        """A short label such as ``indve(minlog)`` used in benchmark reports."""
+        name = self.heuristic if isinstance(self.heuristic, str) else self.heuristic.name
+        method = "indve" if self.use_independent_partitioning else "ve"
+        return f"{method}({name})"
+
+
+@dataclass
+class ProbabilityResult:
+    """Probability of a ws-set together with run statistics."""
+
+    probability: float
+    stats: DecompositionStats = field(default_factory=DecompositionStats)
+    cache_hits: int = 0
+
+
+def probability(
+    ws_set: WSSet,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+) -> float:
+    """Exact probability (confidence) of the world-set denoted by ``ws_set``.
+
+    This is the paper's exact confidence computation: the probability mass of
+    all possible worlds represented by some descriptor in ``ws_set``.
+
+    Examples
+    --------
+    >>> from repro.db.world_table import WorldTable
+    >>> w = WorldTable()
+    >>> w.add_variable("x", {1: 0.1, 2: 0.4, 3: 0.5})
+    >>> w.add_variable("y", {1: 0.2, 2: 0.8})
+    >>> w.add_variable("z", {1: 0.4, 2: 0.6})
+    >>> w.add_variable("u", {1: 0.7, 2: 0.3})
+    >>> w.add_variable("v", {1: 0.5, 2: 0.5})
+    >>> s = WSSet([{"x": 1}, {"x": 2, "y": 1}, {"x": 2, "z": 1},
+    ...            {"u": 1, "v": 1}, {"u": 2}])
+    >>> round(probability(s, w), 4)   # Example 4.7 of the paper
+    0.7578
+    """
+    return probability_with_stats(ws_set, world_table, config).probability
+
+
+def probability_with_stats(
+    ws_set: WSSet,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+) -> ProbabilityResult:
+    """Like :func:`probability` but also returns decomposition statistics."""
+    config = config or ExactConfig()
+    engine = _ProbabilityEngine(world_table, config)
+    descriptors = deduplicate(to_internal(ws_set))
+    if config.simplify_subsumed:
+        descriptors = remove_subsumed(descriptors)
+    with recursion_guard():
+        value = engine.run(descriptors)
+    return ProbabilityResult(value, engine.stats, engine.cache_hits)
+
+
+def confidence(
+    ws_set: WSSet,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+) -> float:
+    """Alias of :func:`probability` using the paper's "confidence" terminology."""
+    return probability(ws_set, world_table, config)
+
+
+def probability_of_descriptors(
+    descriptors: list[dict],
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+    *,
+    budget: "Budget | None" = None,
+) -> float:
+    """Exact probability of a ws-set given in the engine's internal (plain-dict) form.
+
+    Used by the conditioning engine to delegate confidence-only subproblems
+    (subtrees below which no tuple descriptor needs rewriting) to the fast
+    INDVE engine without converting back and forth through :class:`WSSet`.
+    An external :class:`~repro.core.decompose.Budget` may be shared so that
+    time limits cover the whole conditioning run.
+    """
+    config = config or ExactConfig()
+    engine = _ProbabilityEngine(world_table, config)
+    if budget is not None:
+        engine.budget = budget
+    cleaned = deduplicate(descriptors)
+    if config.simplify_subsumed:
+        cleaned = remove_subsumed(cleaned)
+    with recursion_guard():
+        return engine.run(cleaned)
+
+
+class _ProbabilityEngine:
+    """Fused ComputeTree ∘ P recursion over plain-dict descriptors."""
+
+    def __init__(self, world_table: "WorldTable", config: ExactConfig) -> None:
+        self.world_table = world_table
+        self.config = config
+        self.heuristic = make_heuristic(config.heuristic)
+        self.budget = Budget(config.max_calls, config.time_limit)
+        self.stats = DecompositionStats()
+        self.cache: dict = {}
+        self.cache_hits = 0
+
+    def run(self, descriptors: list[dict]) -> float:
+        return self._probability(descriptors, depth=0)
+
+    def _probability(self, descriptors: list[dict], depth: int) -> float:
+        self.budget.tick()
+        self.stats.recursive_calls += 1
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+
+        if not descriptors:
+            self.stats.bottom_nodes += 1
+            return 0.0
+        if any(not descriptor for descriptor in descriptors):
+            self.stats.leaf_nodes += 1
+            return 1.0
+
+        if self.config.subsumption_every_step:
+            descriptors = remove_subsumed(descriptors)
+
+        cache_key = None
+        if self.config.memoize:
+            cache_key = frozenset(frozenset(d.items()) for d in descriptors)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+
+        value = self._decompose(descriptors, depth)
+
+        if cache_key is not None:
+            self.cache[cache_key] = value
+        return value
+
+    def _decompose(self, descriptors: list[dict], depth: int) -> float:
+        if self.config.use_independent_partitioning:
+            components = connected_components(descriptors)
+            if len(components) > 1:
+                self.stats.independent_nodes += 1
+                complement = 1.0
+                for component in components:
+                    complement *= 1.0 - self._probability(component, depth + 1)
+                return 1.0 - complement
+        return self._eliminate_variable(descriptors, depth)
+
+    def _eliminate_variable(self, descriptors: list[dict], depth: int) -> float:
+        occurrences = count_occurrences(descriptors)
+        variable = self.heuristic.select_variable(
+            occurrences, len(descriptors), self.world_table
+        )
+        self.stats.eliminated_variables.append(variable)
+        self.stats.variable_nodes += 1
+        by_value, unmentioned = split_on_variable(descriptors, variable)
+
+        total = 0.0
+        shared_t_probability: float | None = None
+        for value in self.world_table.domain(variable):
+            weight = self.world_table.probability(variable, value)
+            if weight == 0.0:
+                continue
+            if value in by_value:
+                subset = deduplicate(by_value[value] + unmentioned)
+                branch_probability = self._probability(subset, depth + 1)
+            else:
+                if shared_t_probability is None:
+                    shared_t_probability = (
+                        self._probability(list(unmentioned), depth + 1)
+                        if unmentioned
+                        else 0.0
+                    )
+                branch_probability = shared_t_probability
+            total += weight * branch_probability
+        return total

@@ -1,0 +1,283 @@
+"""World-set trees (ws-trees), Definition 4.1 of the paper.
+
+A ws-tree is a tree whose inner nodes are either
+
+* ⊗ (:class:`IndependentNode`): its children use pairwise disjoint variable
+  sets and are therefore probabilistically independent; the node represents
+  the *union* of the children's world-sets;
+* ⊕ (:class:`VariableNode`): associated with one variable; each outgoing edge
+  is annotated with a different assignment of that variable, so the children
+  represent mutually exclusive world-sets;
+
+and whose leaves are either ∅ (:class:`LeafNode`, the full world-set of the
+remaining variables) or ⊥ (:class:`BottomNode`, the empty world-set).
+
+The world-set represented by a ws-tree is the ws-set consisting of the edge
+annotations of all root-to-leaf paths (excluding paths ending in ⊥).  The
+structural constraints of Definition 4.1 are checked by :meth:`WSTree.validate`.
+
+Probability computation on ws-trees (Figure 7) is implemented by
+:meth:`WSTree.probability`; the fused, non-materialising version lives in
+:mod:`repro.core.probability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.descriptors import WSDescriptor
+from repro.core.wsset import WSSet
+from repro.errors import WSTreeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import Value, Variable, WorldTable
+else:
+    Variable = object
+    Value = object
+
+
+class WSTree:
+    """Abstract base class of ws-tree nodes."""
+
+    __slots__ = ()
+
+    # -- semantics ------------------------------------------------------
+    def to_wsset(self) -> WSSet:
+        """The ws-set of root-to-leaf path annotations (the tree's world-set)."""
+        return WSSet(WSDescriptor(path) for path in self._paths({}))
+
+    def probability(self, world_table: "WorldTable") -> float:
+        """Exact probability of the represented world-set (Figure 7)."""
+        raise NotImplementedError
+
+    def _paths(self, prefix: dict) -> list[dict]:
+        raise NotImplementedError
+
+    # -- structure ------------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        """Variables occurring anywhere in this subtree."""
+        raise NotImplementedError
+
+    def node_count(self) -> int:
+        """Number of nodes in this subtree (leaves included)."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path, in edges."""
+        raise NotImplementedError
+
+    def validate(self, world_table: "WorldTable | None" = None) -> None:
+        """Check the structural constraints of Definition 4.1.
+
+        Raises :class:`~repro.errors.WSTreeError` when a variable repeats on a
+        root-to-leaf path, when a ⊕-node's edges do not assign distinct values
+        of its variable, when ⊗-children share variables, or (if a world table
+        is given) when an edge annotation is inconsistent with the table.
+        """
+        self._validate(frozenset(), world_table)
+
+    def _validate(
+        self, seen: frozenset[Variable], world_table: "WorldTable | None"
+    ) -> None:
+        raise NotImplementedError
+
+    def pretty(self, indent: str = "") -> str:
+        """An indented multi-line rendering of the tree (for debugging and docs)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class LeafNode(WSTree):
+    """The ∅ leaf: represents the full world-set (probability one)."""
+
+    def probability(self, world_table: "WorldTable") -> float:
+        return 1.0
+
+    def _paths(self, prefix: dict) -> list[dict]:
+        return [dict(prefix)]
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def node_count(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+    def _validate(self, seen, world_table) -> None:
+        return None
+
+    def pretty(self, indent: str = "") -> str:
+        return f"{indent}∅"
+
+
+@dataclass(frozen=True)
+class BottomNode(WSTree):
+    """The ⊥ leaf: represents the empty world-set (probability zero)."""
+
+    def probability(self, world_table: "WorldTable") -> float:
+        return 0.0
+
+    def _paths(self, prefix: dict) -> list[dict]:
+        return []
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def node_count(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+    def _validate(self, seen, world_table) -> None:
+        return None
+
+    def pretty(self, indent: str = "") -> str:
+        return f"{indent}⊥"
+
+
+@dataclass(frozen=True)
+class IndependentNode(WSTree):
+    """A ⊗-node: children over pairwise disjoint variable sets.
+
+    The node's world-set is the union of the children's world-sets; because
+    the children are independent, ``P = 1 - Π (1 - P_i)`` (Figure 7).
+    """
+
+    children: tuple[WSTree, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+        if len(self.children) < 2:
+            raise WSTreeError("an ⊗-node needs at least two children")
+
+    def probability(self, world_table: "WorldTable") -> float:
+        complement = 1.0
+        for child in self.children:
+            complement *= 1.0 - child.probability(world_table)
+        return 1.0 - complement
+
+    def _paths(self, prefix: dict) -> list[dict]:
+        paths: list[dict] = []
+        for child in self.children:
+            paths.extend(child._paths(prefix))
+        return paths
+
+    def variables(self) -> frozenset[Variable]:
+        result: set[Variable] = set()
+        for child in self.children:
+            result.update(child.variables())
+        return frozenset(result)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)
+
+    def _validate(self, seen, world_table) -> None:
+        used: set[Variable] = set()
+        for child in self.children:
+            child_vars = child.variables()
+            overlap = used & set(child_vars)
+            if overlap:
+                raise WSTreeError(
+                    f"⊗-children share variables {sorted(map(repr, overlap))}"
+                )
+            used.update(child_vars)
+            child._validate(seen, world_table)
+
+    def pretty(self, indent: str = "") -> str:
+        lines = [f"{indent}⊗"]
+        for child in self.children:
+            lines.append(child.pretty(indent + "  "))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VariableNode(WSTree):
+    """A ⊕-node: branches on the alternative assignments of one variable.
+
+    ``branches`` maps each covered value of ``variable`` to a child subtree;
+    the child's incoming edge is annotated with the weighted assignment
+    ``variable -> value``.  Values of the variable's domain that are missing
+    here behave as edges into ⊥ (probability zero contribution).
+    """
+
+    variable: Variable
+    branches: tuple[tuple[Value, WSTree], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "branches", tuple(self.branches))
+        values = [value for value, _ in self.branches]
+        if len(values) != len(set(values)):
+            raise WSTreeError(
+                f"⊕-node on {self.variable!r} has duplicate value annotations"
+            )
+        if not values:
+            raise WSTreeError(f"⊕-node on {self.variable!r} has no branches")
+
+    def probability(self, world_table: "WorldTable") -> float:
+        total = 0.0
+        for value, child in self.branches:
+            weight = world_table.probability(self.variable, value)
+            total += weight * child.probability(world_table)
+        return total
+
+    def _paths(self, prefix: dict) -> list[dict]:
+        paths: list[dict] = []
+        for value, child in self.branches:
+            extended = dict(prefix)
+            extended[self.variable] = value
+            paths.extend(child._paths(extended))
+        return paths
+
+    def variables(self) -> frozenset[Variable]:
+        result: set[Variable] = {self.variable}
+        for _, child in self.branches:
+            result.update(child.variables())
+        return frozenset(result)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for _, child in self.branches)
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for _, child in self.branches)
+
+    def _validate(self, seen, world_table) -> None:
+        if self.variable in seen:
+            raise WSTreeError(
+                f"variable {self.variable!r} occurs twice on a root-to-leaf path"
+            )
+        if world_table is not None:
+            domain = set(world_table.domain(self.variable))
+            for value, _ in self.branches:
+                if value not in domain:
+                    raise WSTreeError(
+                        f"edge annotation {self.variable!r} -> {value!r} is not in the domain"
+                    )
+        extended = seen | {self.variable}
+        for value, child in self.branches:
+            if self.variable in child.variables():
+                raise WSTreeError(
+                    f"variable {self.variable!r} occurs below its own ⊕-node"
+                )
+            child._validate(extended, world_table)
+
+    def pretty(self, indent: str = "") -> str:
+        lines = [f"{indent}⊕ {self.variable!r}"]
+        for value, child in self.branches:
+            lines.append(f"{indent}  ├─ {self.variable!r} → {value!r}")
+            lines.append(child.pretty(indent + "  │   "))
+        return "\n".join(lines)
+
+
+#: Shared singleton leaves; ws-trees are immutable so sharing is safe.
+LEAF = LeafNode()
+BOTTOM = BottomNode()

@@ -1,0 +1,106 @@
+"""The ``conf()`` aggregate: tuple confidence computation over U-relations.
+
+The confidence of a tuple ``t`` in (the result of a query on) a probabilistic
+database is the combined probability weight of all possible worlds in which
+``t`` is present.  On U-relations this is the probability of the ws-set of all
+row descriptors carrying the value of ``t`` — exactly the quantity computed by
+the exact engines of :mod:`repro.core.probability`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.probability import ExactConfig, probability
+from repro.core.wsset import WSSet
+from repro.db.urelation import URelation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import WorldTable
+
+
+@dataclass(frozen=True)
+class ConfidenceRow:
+    """One row of a ``select A..., conf() from ...`` result."""
+
+    values: tuple
+    confidence: float
+
+    def as_dict(self, attributes: Sequence[str]) -> dict:
+        """``attribute -> value`` mapping plus the ``conf`` column."""
+        row = dict(zip(attributes, self.values))
+        row["conf"] = self.confidence
+        return row
+
+
+def confidence_by_tuple(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+) -> list[ConfidenceRow]:
+    """Confidence of each distinct value tuple of ``relation``.
+
+    This closes the possible-worlds semantics: the result is an ordinary
+    relation of value tuples with a numerical confidence column, as in the
+    query ``select SSN, conf(SSN) from R where NAME = 'Bill'`` of the paper's
+    introduction.
+    """
+    grouped: dict[tuple, list] = {}
+    for row in relation:
+        grouped.setdefault(row.values, []).append(row.descriptor)
+    results = []
+    for values, descriptors in grouped.items():
+        ws_set = WSSet(descriptors)
+        results.append(ConfidenceRow(values, probability(ws_set, world_table, config)))
+    return results
+
+
+def confidence_of_relation(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+) -> float:
+    """Confidence of the Boolean query "the relation is nonempty".
+
+    This is ``P(π_∅(relation))``: the probability of the union of all row
+    descriptors — the quantity measured throughout the paper's experiments.
+    """
+    return probability(relation.descriptors(), world_table, config)
+
+
+def certain_tuples(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+    *,
+    tolerance: float = 1e-9,
+) -> list[tuple]:
+    """The value tuples present in *every* world (``where conf(...) = 1``).
+
+    This is the query from the introduction that motivates exact (rather than
+    approximate) confidence computation: Monte-Carlo estimators independently
+    underestimate each tuple's confidence and therefore miss certain answers
+    with high probability.
+    """
+    return [
+        row.values
+        for row in confidence_by_tuple(relation, world_table, config)
+        if row.confidence >= 1.0 - tolerance
+    ]
+
+
+def possible_tuples(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+    *,
+    threshold: float = 0.0,
+) -> list[ConfidenceRow]:
+    """Value tuples whose confidence exceeds ``threshold`` (default: possible at all)."""
+    return [
+        row
+        for row in confidence_by_tuple(relation, world_table, config)
+        if row.confidence > threshold
+    ]

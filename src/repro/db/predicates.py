@@ -1,0 +1,218 @@
+"""Predicates over U-relation rows, used by selections and join conditions.
+
+Predicates are evaluated against an ``attribute -> value`` mapping, so the
+same predicate objects work for selections, theta-joins and constraint
+definitions.  A small expression-builder (:func:`attr`) lets callers write the
+conditions of the paper's queries naturally::
+
+    attr("mktsegment") == "BUILDING"
+    attr("c_custkey") == attr("o_custkey")
+    (attr("discount") >= 0.05) & (attr("discount") <= 0.08)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QueryError, UnknownAttributeError
+
+Row = Mapping[str, object]
+
+_OPERATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Predicate:
+    """Base class of all row predicates."""
+
+    def evaluate(self, row: Row) -> bool:
+        """True iff the predicate holds on ``row``."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by the predicate."""
+        raise NotImplementedError
+
+    # Boolean combinators — usable both as methods and as operators.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __call__(self, row: Row) -> bool:
+        return self.evaluate(row)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (selection with it is the identity)."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class AttributeReference:
+    """A reference to an attribute, used as either side of a comparison."""
+
+    name: str
+
+    def resolve(self, row: Row) -> object:
+        if self.name not in row:
+            raise UnknownAttributeError(self.name, tuple(row))
+        return row[self.name]
+
+    # Comparison operators build AttributeComparison predicates.
+    def __eq__(self, other: object):  # type: ignore[override]
+        return AttributeComparison(self, "=", _as_operand(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return AttributeComparison(self, "!=", _as_operand(other))
+
+    def __lt__(self, other: object):
+        return AttributeComparison(self, "<", _as_operand(other))
+
+    def __le__(self, other: object):
+        return AttributeComparison(self, "<=", _as_operand(other))
+
+    def __gt__(self, other: object):
+        return AttributeComparison(self, ">", _as_operand(other))
+
+    def __ge__(self, other: object):
+        return AttributeComparison(self, ">=", _as_operand(other))
+
+    def between(self, low: object, high: object) -> Predicate:
+        """Inclusive range predicate, as in the paper's Q2 (``BETWEEN``)."""
+        return And((self >= low, self <= high))
+
+    def is_in(self, values) -> Predicate:
+        """Membership predicate (disjunction of equalities)."""
+        options = tuple(values)
+        if not options:
+            raise QueryError("IN predicate needs at least one value")
+        return Or(tuple(self == value for value in options))
+
+    def __hash__(self) -> int:
+        return hash(("AttributeReference", self.name))
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A literal operand of a comparison."""
+
+    value: object
+
+    def resolve(self, row: Row) -> object:
+        return self.value
+
+
+def _as_operand(value: object):
+    """Coerce the right-hand side of a comparison into an operand object."""
+    if isinstance(value, (AttributeReference, Constant)):
+        return value
+    return Constant(value)
+
+
+@dataclass(frozen=True)
+class AttributeComparison(Predicate):
+    """A comparison ``left op right`` where each side is an attribute or constant."""
+
+    left: AttributeReference | Constant
+    operator: str
+    right: AttributeReference | Constant
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        return _OPERATORS[self.operator](self.left.resolve(row), self.right.resolve(row))
+
+    def attributes(self) -> frozenset[str]:
+        names = set()
+        for side in (self.left, self.right):
+            if isinstance(side, AttributeReference):
+                names.add(side.name)
+        return frozenset(names)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    operands: tuple[Predicate, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return all(operand.evaluate(row) for operand in self.operands)
+
+    def attributes(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    operands: tuple[Predicate, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return any(operand.evaluate(row) for operand in self.operands)
+
+    def attributes(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate (usable on selections; not a full complement on worlds)."""
+
+    operand: Predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.operand.evaluate(row)
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+
+def attr(name: str) -> AttributeReference:
+    """Reference an attribute in a predicate expression: ``attr("SSN") == 7``."""
+    return AttributeReference(name)
+
+
+#: Alias of :func:`attr` for readers who prefer SQL-ish naming.
+col = attr
+
+
+def equality_join_predicate(pairs) -> Predicate:
+    """Conjunction of attribute equalities, e.g. for equi-joins.
+
+    ``pairs`` is an iterable of ``(left_attribute, right_attribute)`` names.
+    """
+    comparisons = tuple(attr(left) == attr(right) for left, right in pairs)
+    if not comparisons:
+        return TruePredicate()
+    if len(comparisons) == 1:
+        return comparisons[0]
+    return And(comparisons)

@@ -1,0 +1,121 @@
+"""Helpers for building tuple-independent probabilistic relations.
+
+A *tuple-independent* probabilistic database associates each tuple with an
+independent Boolean random variable: the tuple is present in a world iff its
+variable is true.  This is the model used by the paper's TPC-H experiments
+("each tuple is associated with a Boolean random variable and the probability
+distribution is chosen at random") and by much prior work (MystiQ and others);
+it is a special case of the U-relational model built here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.core.descriptors import WSDescriptor
+from repro.db.urelation import URelation
+from repro.db.world_table import WorldTable
+from repro.errors import InvalidDistributionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import ProbabilisticDatabase
+
+
+def tuple_independent_relation(
+    name: str,
+    attributes: Sequence[str],
+    rows: Iterable[tuple[Sequence, float]],
+    world_table: WorldTable,
+    *,
+    variable_prefix: str | None = None,
+) -> URelation:
+    """Build a tuple-independent U-relation, registering one Boolean variable per row.
+
+    Parameters
+    ----------
+    name, attributes:
+        Relation name and schema.
+    rows:
+        Iterable of ``(values, probability)`` pairs: the tuple's values (in
+        schema order) and its marginal probability of being present.
+    world_table:
+        The world table to register the fresh Boolean variables in (mutated).
+    variable_prefix:
+        Prefix of the generated variable names; defaults to ``"<name>_t"``,
+        giving variables ``R_t0, R_t1, ...``.
+
+    Returns
+    -------
+    URelation
+        The relation whose ``i``-th row carries the descriptor
+        ``{<prefix><i>: True}``.
+    """
+    prefix = variable_prefix if variable_prefix is not None else f"{name}_t"
+    relation = URelation(name, attributes)
+    for index, (values, probability) in enumerate(rows):
+        if not 0.0 <= probability <= 1.0:
+            raise InvalidDistributionError(
+                f"tuple probability must be in [0, 1], got {probability}"
+            )
+        variable = f"{prefix}{index}"
+        if probability >= 1.0:
+            # Certain tuple: no need for a variable at all.
+            relation.add_certain(values)
+            continue
+        world_table.add_boolean(variable, probability)
+        relation.add(WSDescriptor({variable: True}), values)
+    return relation
+
+
+def random_tuple_probabilities(
+    count: int,
+    rng: random.Random,
+    *,
+    low: float = 0.05,
+    high: float = 0.95,
+) -> list[float]:
+    """``count`` random tuple probabilities uniform in ``[low, high]``.
+
+    The paper chooses tuple probabilities "at random"; bounding them away from
+    0 and 1 keeps every tuple genuinely uncertain.
+    """
+    if not 0.0 <= low <= high <= 1.0:
+        raise ValueError(f"invalid probability range [{low}, {high}]")
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+def attach_tuple_variables(
+    database: "ProbabilisticDatabase",
+    relation_name: str,
+    probabilities: Sequence[float] | float,
+    *,
+    variable_prefix: str | None = None,
+) -> None:
+    """Turn an existing certain relation of a database into a tuple-independent one.
+
+    Every row of the relation gets a fresh Boolean variable; ``probabilities``
+    is either one probability per row or a single probability applied to all
+    rows.  The database's world table and relation are updated in place.
+    """
+    relation = database.relation(relation_name)
+    row_count = len(relation)
+    if isinstance(probabilities, (int, float)):
+        per_row = [float(probabilities)] * row_count
+    else:
+        per_row = [float(p) for p in probabilities]
+        if len(per_row) != row_count:
+            raise ValueError(
+                f"expected {row_count} probabilities for relation {relation_name!r}, "
+                f"got {len(per_row)}"
+            )
+    rows = [(row.values, probability) for row, probability in zip(relation, per_row)]
+    rebuilt = tuple_independent_relation(
+        relation_name,
+        relation.attributes,
+        rows,
+        database.world_table,
+        variable_prefix=variable_prefix,
+    )
+    database.replace_relation(rebuilt)

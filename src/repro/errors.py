@@ -1,0 +1,116 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so user
+code can catch a single base class.  Fine-grained subclasses exist for the
+situations that callers plausibly want to handle differently (e.g. asserting a
+condition that is false in every world vs. referring to an unknown variable).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class WorldTableError(ReproError):
+    """Base class for problems with world-table definitions."""
+
+
+class UnknownVariableError(WorldTableError, KeyError):
+    """A world-set descriptor or query refers to a variable not in the world table."""
+
+    def __init__(self, variable: object) -> None:
+        super().__init__(variable)
+        self.variable = variable
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep a readable message.
+        return f"unknown variable: {self.variable!r}"
+
+
+class UnknownValueError(WorldTableError, KeyError):
+    """An assignment maps a variable to a value outside its domain."""
+
+    def __init__(self, variable: object, value: object) -> None:
+        super().__init__((variable, value))
+        self.variable = variable
+        self.value = value
+
+    def __str__(self) -> str:
+        return f"value {self.value!r} is not in the domain of variable {self.variable!r}"
+
+
+class InvalidDistributionError(WorldTableError, ValueError):
+    """A variable's alternative probabilities are invalid (negative or do not sum to one)."""
+
+
+class DescriptorError(ReproError, ValueError):
+    """A world-set descriptor is malformed (e.g. not functional)."""
+
+
+class InconsistentDescriptorError(DescriptorError):
+    """An operation required two consistent descriptors but they conflict."""
+
+
+class WSTreeError(ReproError, ValueError):
+    """A world-set tree violates the structural constraints of Definition 4.1."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A relational operation was applied to incompatible or unknown schemas."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query refers to a relation that is not part of the database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """A query refers to an attribute that is not part of the relation schema."""
+
+    def __init__(self, attribute: str, schema: tuple[str, ...] = ()) -> None:
+        message = f"unknown attribute: {attribute!r}"
+        if schema:
+            message += f" (schema is {', '.join(schema)})"
+        super().__init__(message)
+        self.attribute = attribute
+        self.schema = tuple(schema)
+
+
+class ZeroProbabilityConditionError(ReproError, ValueError):
+    """Conditioning was attempted on a condition that holds in no possible world.
+
+    The posterior distribution would be undefined (division by zero), matching
+    the paper's requirement that the ws-tree passed to ``cond`` describes a
+    *nonempty* world-set.
+    """
+
+
+class ConditioningError(ReproError, RuntimeError):
+    """The conditioning algorithm reached an internal inconsistency."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query expression is malformed."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL front end could not parse a statement."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """An algorithm exceeded a user-supplied resource budget (time or node count)."""
+
+    def __init__(self, message: str, *, elapsed: float | None = None, nodes: int | None = None):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.nodes = nodes

@@ -1,0 +1,29 @@
+"""A small SQL front end for the probabilistic database (MayBMS-style).
+
+The paper's examples are phrased in SQL extended with a ``conf()`` aggregate
+(e.g. ``select SSN, conf(SSN) from R where NAME = 'Bill'``).  This subpackage
+implements the subset needed to run every query string appearing in the paper:
+
+* ``SELECT`` with attribute lists, ``*`` or ``conf()`` / ``conf(attrs)``;
+* ``FROM`` lists with optional aliases (tuple variables), giving
+  consistency-aware joins over U-relations;
+* ``WHERE`` with ``AND`` / ``OR`` / ``NOT``, the six comparison operators and
+  ``BETWEEN``, over attributes and literals;
+* ``ASSERT <boolean query>`` — the conditioning statement: the database is
+  conditioned on the worlds in which the Boolean query is true.
+
+Entry point: :func:`repro.sql.executor.execute` (re-exported here).
+"""
+
+from repro.sql.lexer import tokenize, Token, TokenType
+from repro.sql.parser import parse
+from repro.sql.executor import execute, QueryResult
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "execute",
+    "QueryResult",
+]

@@ -1,0 +1,124 @@
+"""Abstract syntax tree of the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) attribute reference, e.g. ``SSN`` or ``c.custkey``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value: number, string, or boolean."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where each side is a :class:`ColumnRef` or :class:`Literal`."""
+
+    left: "ColumnRef | Literal"
+    operator: str
+    right: "ColumnRef | Literal"
+
+
+@dataclass(frozen=True)
+class Between:
+    """``operand BETWEEN low AND high`` (inclusive)."""
+
+    operand: "ColumnRef | Literal"
+    low: "ColumnRef | Literal"
+    high: "ColumnRef | Literal"
+
+
+@dataclass(frozen=True)
+class BooleanExpression:
+    """``AND`` / ``OR`` / ``NOT`` combination of conditions."""
+
+    operator: str  # "and" | "or" | "not"
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class ConfCall:
+    """The ``conf()`` / ``conf(attrs...)`` aggregate of the probabilistic SQL dialect."""
+
+    arguments: tuple[ColumnRef, ...] = ()
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectColumn:
+    """One item of the SELECT list: an attribute, a literal, or ``conf()``."""
+
+    expression: "ColumnRef | Literal | ConfCall"
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` select list."""
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One item of the FROM list: a relation name with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the rest of the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """``SELECT columns FROM tables [WHERE condition]``."""
+
+    columns: "tuple[SelectColumn, ...] | Star"
+    tables: tuple[TableRef, ...]
+    where: "Comparison | Between | BooleanExpression | Literal | None" = None
+
+    @property
+    def is_boolean(self) -> bool:
+        """True for ``select true from ...`` — a Boolean query (Figure 10 style)."""
+        if isinstance(self.columns, Star):
+            return False
+        return len(self.columns) == 1 and isinstance(self.columns[0].expression, Literal)
+
+    def conf_columns(self) -> tuple[ConfCall, ...]:
+        """All ``conf()`` calls in the select list."""
+        if isinstance(self.columns, Star):
+            return ()
+        return tuple(
+            column.expression
+            for column in self.columns
+            if isinstance(column.expression, ConfCall)
+        )
+
+
+@dataclass(frozen=True)
+class AssertStatement:
+    """``ASSERT <select statement>`` — condition the database on a Boolean query."""
+
+    query: SelectStatement
+
+
+@dataclass(frozen=True)
+class ParsedStatement:
+    """Top-level result of parsing: exactly one statement."""
+
+    statement: "SelectStatement | AssertStatement"
+    text: str = field(default="", compare=False)

@@ -1,0 +1,131 @@
+"""Execution of parsed SQL statements against a probabilistic database.
+
+``SELECT`` statements return a :class:`QueryResult`:
+
+* without ``conf()`` the result is the answer U-relation projected to the
+  selected columns (rows still carry their ws-descriptors);
+* with ``conf()`` the result closes the possible-worlds semantics: rows are
+  grouped by the non-aggregate columns and each group carries the exact
+  confidence of its ws-set (the paper's ``select SSN, conf(SSN) from R ...``);
+* ``select true from ... where ...`` is a Boolean query; its result carries
+  the single confidence value and the answer ws-set.
+
+``ASSERT <boolean query>`` conditions the database in place on the worlds in
+which the query is true (the ``assert[B]`` operation of Section 5) and returns
+the conditioning summary wrapped in a :class:`QueryResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.probability import ExactConfig, probability
+from repro.core.wsset import WSSet
+from repro.db import algebra
+from repro.db.confidence import confidence_by_tuple
+from repro.db.urelation import URelation
+from repro.errors import QueryError
+from repro.sql.ast_nodes import AssertStatement, ParsedStatement, SelectStatement
+from repro.sql.parser import parse
+from repro.sql.planner import plan_select
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import ConditioningSummary, ProbabilisticDatabase
+
+
+@dataclass
+class QueryResult:
+    """Result of executing one SQL statement."""
+
+    kind: str  # "relation" | "confidence" | "boolean" | "assert"
+    columns: tuple[str, ...] = ()
+    rows: list[tuple] = field(default_factory=list)
+    relation: URelation | None = None
+    ws_set: WSSet | None = None
+    confidence: float | None = None
+    summary: "ConditioningSummary | None" = None
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as ``column -> value`` dictionaries (confidence included if any)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def execute(
+    database: "ProbabilisticDatabase",
+    sql: "str | ParsedStatement",
+    config: ExactConfig | None = None,
+) -> QueryResult:
+    """Parse (if needed) and execute one SQL statement against ``database``."""
+    parsed = parse(sql) if isinstance(sql, str) else sql
+    statement = parsed.statement
+    if isinstance(statement, AssertStatement):
+        return _execute_assert(database, statement, config)
+    if isinstance(statement, SelectStatement):
+        return _execute_select(database, statement, config)
+    raise QueryError(f"unsupported statement {statement!r}")
+
+
+def _execute_select(
+    database: "ProbabilisticDatabase",
+    statement: SelectStatement,
+    config: ExactConfig | None,
+) -> QueryResult:
+    plan = plan_select(statement, database)
+    answer_wsset = plan.relation.descriptors()
+
+    if plan.is_boolean:
+        value = probability(answer_wsset, database.world_table, config)
+        return QueryResult(
+            kind="boolean",
+            columns=("conf",),
+            rows=[(value,)],
+            ws_set=answer_wsset,
+            confidence=value,
+            relation=plan.relation,
+        )
+
+    projected = (
+        algebra.project(plan.relation, plan.output_columns)
+        if plan.output_columns
+        else plan.relation
+    )
+
+    if plan.conf_calls:
+        confidence_rows = confidence_by_tuple(projected, database.world_table, config)
+        columns = plan.column_labels + ("conf",)
+        rows = [row.values + (row.confidence,) for row in confidence_rows]
+        return QueryResult(
+            kind="confidence",
+            columns=columns,
+            rows=rows,
+            relation=projected,
+            ws_set=answer_wsset,
+        )
+
+    rows = [row.values for row in projected]
+    return QueryResult(
+        kind="relation",
+        columns=plan.column_labels,
+        rows=rows,
+        relation=projected,
+        ws_set=answer_wsset,
+    )
+
+
+def _execute_assert(
+    database: "ProbabilisticDatabase",
+    statement: AssertStatement,
+    config: ExactConfig | None,
+) -> QueryResult:
+    plan = plan_select(statement.query, database)
+    condition = plan.relation.descriptors()
+    summary = database.assert_condition(condition, config)
+    return QueryResult(
+        kind="assert",
+        columns=("confidence",),
+        rows=[(summary.confidence,)],
+        ws_set=condition,
+        confidence=summary.confidence,
+        summary=summary,
+    )

@@ -1,0 +1,163 @@
+"""Tokenizer for the SQL subset.
+
+The lexer is deliberately small: identifiers (optionally qualified with a
+dot), string literals in single quotes, numeric literals, the comparison and
+punctuation symbols, and a fixed set of keywords.  Keywords are recognised
+case-insensitively, as in SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "BETWEEN",
+        "AS",
+        "ASSERT",
+        "CONF",
+        "TRUE",
+        "FALSE",
+        "IN",
+    }
+)
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ".")
+
+
+class TokenType(Enum):
+    """Lexical categories of the SQL subset."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    SYMBOL = auto()
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    type: TokenType
+    value: object
+    position: int
+
+    def is_keyword(self, keyword: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == keyword.upper()
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`~repro.errors.SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        character = text[index]
+        if character.isspace():
+            index += 1
+            continue
+        if character == "'":
+            index, token = _read_string(text, index)
+            tokens.append(token)
+            continue
+        if character.isdigit() or (
+            character in "+-"
+            and index + 1 < length
+            and text[index + 1].isdigit()
+            and _number_context(tokens)
+        ):
+            index, token = _read_number(text, index)
+            tokens.append(token)
+            continue
+        if character.isalpha() or character == "_":
+            index, token = _read_word(text, index)
+            tokens.append(token)
+            continue
+        symbol = _match_symbol(text, index)
+        if symbol is not None:
+            tokens.append(Token(TokenType.SYMBOL, "!=" if symbol == "<>" else symbol, index))
+            index += len(symbol)
+            continue
+        raise SQLSyntaxError(f"unexpected character {character!r}", position=index)
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """Signed numbers are only allowed where a value is expected (not after one)."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    if last.type in (TokenType.NUMBER, TokenType.STRING, TokenType.IDENTIFIER):
+        return False
+    if last.type is TokenType.SYMBOL and last.value == ")":
+        return False
+    return True
+
+
+def _read_string(text: str, start: int) -> tuple[int, Token]:
+    index = start + 1
+    pieces: list[str] = []
+    while index < len(text):
+        character = text[index]
+        if character == "'":
+            # SQL escapes a quote by doubling it.
+            if index + 1 < len(text) and text[index + 1] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            return index + 1, Token(TokenType.STRING, "".join(pieces), start)
+        pieces.append(character)
+        index += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_number(text: str, start: int) -> tuple[int, Token]:
+    index = start
+    if text[index] in "+-":
+        index += 1
+    seen_dot = False
+    while index < len(text) and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+        if text[index] == ".":
+            # A trailing dot followed by a non-digit belongs to a qualified name,
+            # not to the number (e.g. ``1.SSN`` in denial constraints) — but a
+            # leading-digit identifier is not valid SQL anyway, so treat any
+            # digit-dot-digit sequence as a float.
+            if index + 1 >= len(text) or not text[index + 1].isdigit():
+                break
+            seen_dot = True
+        index += 1
+    literal = text[start:index]
+    value: object = float(literal) if "." in literal else int(literal)
+    return index, Token(TokenType.NUMBER, value, start)
+
+
+def _read_word(text: str, start: int) -> tuple[int, Token]:
+    index = start
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    word = text[start:index]
+    if word.upper() in KEYWORDS:
+        return index, Token(TokenType.KEYWORD, word.upper(), start)
+    return index, Token(TokenType.IDENTIFIER, word, start)
+
+
+def _match_symbol(text: str, index: int) -> str | None:
+    for symbol in SYMBOLS:
+        if text.startswith(symbol, index):
+            return symbol
+    return None

@@ -1,0 +1,190 @@
+"""Translation of parsed SQL into relational-algebra plans on U-relations.
+
+The planner binds each FROM-list entry to a U-relation whose attributes are
+prefixed with the binding name (``c.custkey`` style), resolves unqualified
+column references (they must be unambiguous across the FROM list), translates
+the WHERE clause into a :class:`~repro.db.predicates.Predicate`, and builds the
+answer U-relation with consistency-aware products and selections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.db import algebra
+from repro.db.predicates import (
+    And,
+    AttributeComparison,
+    Constant,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    attr,
+)
+from repro.db.urelation import URelation
+from repro.errors import QueryError
+from repro.sql.ast_nodes import (
+    Between,
+    BooleanExpression,
+    ColumnRef,
+    Comparison,
+    ConfCall,
+    Literal,
+    SelectColumn,
+    SelectStatement,
+    Star,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import ProbabilisticDatabase
+
+
+@dataclass
+class Plan:
+    """A planned SELECT: the joined/filtered relation and what to output."""
+
+    relation: URelation
+    output_columns: tuple[str, ...]
+    conf_calls: tuple[ConfCall, ...]
+    column_labels: tuple[str, ...]
+    is_boolean: bool
+
+
+def plan_select(statement: SelectStatement, database: "ProbabilisticDatabase") -> Plan:
+    """Plan a SELECT statement against ``database``."""
+    scope = _Scope(statement, database)
+    relation = scope.joined_relation()
+    predicate = translate_condition(statement.where, scope) if statement.where else None
+    if predicate is not None:
+        relation = algebra.select(relation, predicate)
+
+    conf_calls = statement.conf_columns()
+    output_columns, labels = scope.output_columns()
+    return Plan(
+        relation=relation,
+        output_columns=output_columns,
+        conf_calls=conf_calls,
+        column_labels=labels,
+        is_boolean=statement.is_boolean,
+    )
+
+
+class _Scope:
+    """Name resolution for one SELECT: bindings, prefixed attributes, outputs."""
+
+    def __init__(self, statement: SelectStatement, database: "ProbabilisticDatabase") -> None:
+        self.statement = statement
+        self.database = database
+        self.bindings: dict[str, URelation] = {}
+        for table in statement.tables:
+            if table.binding in self.bindings:
+                raise QueryError(f"duplicate table binding {table.binding!r}")
+            base = database.relation(table.name)
+            self.bindings[table.binding] = base.prefixed(f"{table.binding}.")
+
+    def joined_relation(self) -> URelation:
+        relations = list(self.bindings.values())
+        joined = relations[0]
+        for relation in relations[1:]:
+            joined = algebra.product(joined, relation)
+        return joined
+
+    def resolve(self, column: ColumnRef) -> str:
+        """Resolve a column reference to a prefixed attribute name."""
+        if column.qualifier is not None:
+            candidate = f"{column.qualifier}.{column.name}"
+            for relation in self.bindings.values():
+                if relation.has_attribute(candidate):
+                    return candidate
+            raise QueryError(f"unknown column {column.display()!r}")
+        matches = []
+        for binding, relation in self.bindings.items():
+            candidate = f"{binding}.{column.name}"
+            if relation.has_attribute(candidate):
+                matches.append(candidate)
+        if not matches:
+            raise QueryError(f"unknown column {column.display()!r}")
+        if len(matches) > 1:
+            raise QueryError(
+                f"ambiguous column {column.display()!r}: matches {', '.join(matches)}"
+            )
+        return matches[0]
+
+    def output_columns(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """The prefixed attribute names to project on and their display labels."""
+        columns = self.statement.columns
+        if isinstance(columns, Star):
+            names = tuple(
+                attribute
+                for relation in self.bindings.values()
+                for attribute in relation.attributes
+            )
+            return names, names
+        resolved: list[str] = []
+        labels: list[str] = []
+        for column in columns:
+            expression = column.expression
+            if isinstance(expression, ConfCall):
+                for argument in expression.arguments:
+                    name = self.resolve(argument)
+                    if name not in resolved:
+                        resolved.append(name)
+                        labels.append(column.alias or argument.display())
+                continue
+            if isinstance(expression, Literal):
+                continue
+            name = self.resolve(expression)
+            resolved.append(name)
+            labels.append(column.alias or expression.display())
+        return tuple(resolved), tuple(labels)
+
+
+def translate_condition(condition, scope: _Scope) -> Predicate:
+    """Translate a parsed WHERE condition into a row predicate."""
+    if condition is None:
+        return TruePredicate()
+    if isinstance(condition, Literal):
+        return TruePredicate() if condition.value else _FalsePredicate()
+    if isinstance(condition, Comparison):
+        return AttributeComparison(
+            _operand(condition.left, scope),
+            condition.operator,
+            _operand(condition.right, scope),
+        )
+    if isinstance(condition, Between):
+        operand = condition.operand
+        low, high = condition.low, condition.high
+        return And(
+            (
+                AttributeComparison(_operand(operand, scope), ">=", _operand(low, scope)),
+                AttributeComparison(_operand(operand, scope), "<=", _operand(high, scope)),
+            )
+        )
+    if isinstance(condition, BooleanExpression):
+        translated = tuple(translate_condition(part, scope) for part in condition.operands)
+        if condition.operator == "and":
+            return And(translated)
+        if condition.operator == "or":
+            return Or(translated)
+        return Not(translated[0])
+    raise QueryError(f"unsupported condition node {condition!r}")
+
+
+def _operand(node, scope: _Scope):
+    if isinstance(node, ColumnRef):
+        return attr(scope.resolve(node))
+    if isinstance(node, Literal):
+        return Constant(node.value)
+    raise QueryError(f"unsupported operand {node!r}")
+
+
+class _FalsePredicate(Predicate):
+    """The always-false predicate (``where false``)."""
+
+    def evaluate(self, row) -> bool:
+        return False
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()

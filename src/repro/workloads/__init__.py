@@ -1,0 +1,33 @@
+"""Workload generators for the experiments of Section 7.
+
+* :mod:`repro.workloads.tpch` — a seeded TPC-H-like generator producing the
+  ``customer`` / ``orders`` / ``lineitem`` relations and the two Boolean
+  queries Q1 and Q2 of Figure 10, over a tuple-independent probabilistic
+  database.
+* :mod:`repro.workloads.hard` — the #P-hard ws-set generator (parameters
+  ``n`` variables, ``r`` alternatives per variable, descriptor length ``s``,
+  ``w`` descriptors) used by Figures 11-13.
+* :mod:`repro.workloads.random_instances` — small random world tables and
+  ws-sets used by unit tests and property-based tests.
+"""
+
+from repro.workloads.tpch import TPCHGenerator, TPCHInstance, query_q1, query_q2
+from repro.workloads.hard import HardCaseParameters, generate_hard_wsset, generate_hard_instance
+from repro.workloads.random_instances import (
+    random_world_table,
+    random_wsset,
+    random_tuple_independent_database,
+)
+
+__all__ = [
+    "TPCHGenerator",
+    "TPCHInstance",
+    "query_q1",
+    "query_q2",
+    "HardCaseParameters",
+    "generate_hard_wsset",
+    "generate_hard_instance",
+    "random_world_table",
+    "random_wsset",
+    "random_tuple_independent_database",
+]

@@ -1,0 +1,174 @@
+"""The #P-hard ws-set generator (paper, Section 7, "#P-hard cases").
+
+The second data set of the experimental section consists of ws-sets shaped
+like the answers of non-hierarchical conjunctive queries without self-joins on
+tuple-independent databases — join queries ``Q_s = R_1 ⋈ ... ⋈ R_s`` over
+schemas ``R_i(A_i, A_{i+1})`` whose confidence computation is #P-hard.
+
+The generation procedure follows the paper exactly: the ``n`` variables are
+partitioned into ``s`` equally-sized sets ``V_1, ..., V_s``; each of the ``w``
+ws-descriptors is ``{x_1 → a_1, ..., x_s → a_s}`` where ``x_i`` is drawn
+uniformly from ``V_i`` and ``a_i`` is a random alternative of ``x_i``.  All
+variables have ``r`` alternatives with uniform probabilities ``1/r`` (the
+exact algorithms are insensitive to the probability values as long as the
+number of alternatives is constant).
+
+Parameters used in the paper: ``n`` from 50 to 100 000, ``r ∈ {2, 4}``,
+``s ∈ {2, 4}``, ``w`` from 5 to 60 000.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.descriptors import WSDescriptor
+from repro.core.wsset import WSSet
+from repro.db.world_table import WorldTable
+
+
+@dataclass(frozen=True)
+class HardCaseParameters:
+    """Parameters of the #P-hard ws-set generator.
+
+    Attributes
+    ----------
+    num_variables:
+        ``n``, the total number of variables (split into ``s`` groups).
+    alternatives:
+        ``r``, the number of alternatives per variable (uniform ``1/r`` each).
+    descriptor_length:
+        ``s``, the length of every ws-descriptor — equivalently the number of
+        relations joined by the #P-hard query ``Q_s``.
+    num_descriptors:
+        ``w``, the number of (distinct) ws-descriptors to generate.
+    seed:
+        Seed of the pseudo-random generator; the instance is fully
+        reproducible from its parameters.
+    """
+
+    num_variables: int
+    alternatives: int = 4
+    descriptor_length: int = 4
+    num_descriptors: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_variables < self.descriptor_length:
+            raise ValueError(
+                "need at least as many variables as the descriptor length "
+                f"({self.num_variables} < {self.descriptor_length})"
+            )
+        if self.alternatives < 2:
+            raise ValueError("variables need at least two alternatives")
+        if self.descriptor_length < 1:
+            raise ValueError("descriptors must have at least one assignment")
+        if self.num_descriptors < 1:
+            raise ValueError("need at least one descriptor")
+
+    def label(self) -> str:
+        """A compact label such as ``n=100 r=4 s=4 w=5000`` for reports."""
+        return (
+            f"n={self.num_variables} r={self.alternatives} "
+            f"s={self.descriptor_length} w={self.num_descriptors}"
+        )
+
+
+@dataclass
+class HardCaseInstance:
+    """A generated hard instance: the world table, the ws-set, and its parameters."""
+
+    parameters: HardCaseParameters
+    world_table: WorldTable
+    ws_set: WSSet
+
+    @property
+    def wsset_size(self) -> int:
+        return len(self.ws_set)
+
+    @property
+    def variable_count(self) -> int:
+        return len(self.world_table)
+
+
+def generate_hard_instance(parameters: HardCaseParameters) -> HardCaseInstance:
+    """Generate a world table and ws-set according to ``parameters``."""
+    rng = random.Random(parameters.seed)
+    world_table = _uniform_world_table(parameters)
+    groups = _variable_groups(parameters)
+    ws_set = _sample_wsset(parameters, rng, groups)
+    return HardCaseInstance(parameters, world_table, ws_set)
+
+
+def generate_hard_wsset(parameters: HardCaseParameters) -> tuple[WorldTable, WSSet]:
+    """Convenience wrapper returning just ``(world_table, ws_set)``."""
+    instance = generate_hard_instance(parameters)
+    return instance.world_table, instance.ws_set
+
+
+def _uniform_world_table(parameters: HardCaseParameters) -> WorldTable:
+    world_table = WorldTable()
+    weight = 1.0 / parameters.alternatives
+    distribution = {value: weight for value in range(parameters.alternatives)}
+    for index in range(parameters.num_variables):
+        world_table.add_variable(f"x{index}", distribution, normalize=True)
+    return world_table
+
+
+def _variable_groups(parameters: HardCaseParameters) -> list[list[str]]:
+    """Partition the variables into ``s`` (nearly) equally-sized groups."""
+    names = [f"x{index}" for index in range(parameters.num_variables)]
+    group_count = parameters.descriptor_length
+    groups: list[list[str]] = [[] for _ in range(group_count)]
+    for index, name in enumerate(names):
+        groups[index % group_count].append(name)
+    return groups
+
+
+def _sample_wsset(
+    parameters: HardCaseParameters,
+    rng: random.Random,
+    groups: list[list[str]],
+) -> WSSet:
+    target = parameters.num_descriptors
+    descriptors: dict[WSDescriptor, None] = {}
+    # Sampling can repeat descriptors; keep drawing until we have the requested
+    # number of *distinct* descriptors (with a generous safety cap so that
+    # parameter combinations near the space size still terminate).
+    max_attempts = 50 * target + 1000
+    attempts = 0
+    while len(descriptors) < target and attempts < max_attempts:
+        attempts += 1
+        assignments = {}
+        for group in groups:
+            variable = rng.choice(group)
+            assignments[variable] = rng.randrange(parameters.alternatives)
+        descriptors.setdefault(WSDescriptor(assignments), None)
+    if len(descriptors) < target:
+        raise ValueError(
+            f"could not sample {target} distinct descriptors for {parameters.label()}; "
+            "the parameter space is too small"
+        )
+    return WSSet(descriptors)
+
+
+def sweep_wsset_sizes(
+    base: HardCaseParameters,
+    sizes: list[int],
+) -> list[HardCaseInstance]:
+    """Generate one instance per requested ws-set size, sharing all other parameters.
+
+    Used by the Figure 11-13 benchmark sweeps; the seed is offset per size so
+    that the instances are independent draws.
+    """
+    instances = []
+    for offset, size in enumerate(sizes):
+        parameters = HardCaseParameters(
+            num_variables=base.num_variables,
+            alternatives=base.alternatives,
+            descriptor_length=base.descriptor_length,
+            num_descriptors=size,
+            seed=base.seed + offset,
+        )
+        instances.append(generate_hard_instance(parameters))
+    return instances

@@ -1,0 +1,126 @@
+"""Random small instances for unit tests and property-based tests.
+
+These generators produce *small* world tables, ws-sets and tuple-independent
+databases whose exact world distributions can still be enumerated by the
+brute-force baseline, so that every algorithm in the library can be validated
+against ground truth on thousands of random cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.descriptors import WSDescriptor
+from repro.core.wsset import WSSet
+from repro.db.database import ProbabilisticDatabase
+from repro.db.tuple_independent import tuple_independent_relation
+from repro.db.world_table import WorldTable
+
+
+def random_world_table(
+    rng: random.Random,
+    *,
+    num_variables: int = 5,
+    max_domain_size: int = 3,
+    variable_prefix: str = "v",
+) -> WorldTable:
+    """A random world table with ``num_variables`` variables.
+
+    Domain sizes are drawn between 2 and ``max_domain_size``; probabilities
+    are random and normalised to sum to one.
+    """
+    world_table = WorldTable()
+    for index in range(num_variables):
+        domain_size = rng.randint(2, max(2, max_domain_size))
+        weights = [rng.uniform(0.05, 1.0) for _ in range(domain_size)]
+        distribution = {value: weight for value, weight in enumerate(weights)}
+        world_table.add_variable(f"{variable_prefix}{index}", distribution, normalize=True)
+    return world_table
+
+
+def random_wsset(
+    rng: random.Random,
+    world_table: WorldTable,
+    *,
+    num_descriptors: int = 4,
+    max_length: int = 3,
+    allow_empty_descriptor: bool = False,
+) -> WSSet:
+    """A random ws-set over ``world_table``.
+
+    Each descriptor assigns between 1 and ``max_length`` distinct variables
+    (or possibly zero when ``allow_empty_descriptor`` is set) to random values
+    of their domains.
+    """
+    variables = list(world_table.variables)
+    descriptors = []
+    for _ in range(num_descriptors):
+        minimum = 0 if allow_empty_descriptor else 1
+        length = rng.randint(minimum, min(max_length, len(variables)))
+        chosen = rng.sample(variables, length)
+        assignments = {
+            variable: rng.choice(list(world_table.domain(variable)))
+            for variable in chosen
+        }
+        descriptors.append(WSDescriptor(assignments))
+    return WSSet(descriptors)
+
+
+def random_tuple_independent_database(
+    rng: random.Random,
+    *,
+    relation_name: str = "R",
+    num_tuples: int = 6,
+    num_attribute_values: int = 3,
+) -> ProbabilisticDatabase:
+    """A small random tuple-independent database with one binary relation.
+
+    The relation has schema ``(A, B)`` with attribute values in
+    ``range(num_attribute_values)``, so functional dependencies ``A -> B`` are
+    frequently (but not always) violated — ideal for conditioning tests.
+    """
+    world_table = WorldTable()
+    database = ProbabilisticDatabase(world_table)
+    rows = []
+    for _ in range(num_tuples):
+        values = (
+            rng.randrange(num_attribute_values),
+            rng.randrange(num_attribute_values),
+        )
+        rows.append((values, rng.uniform(0.1, 0.9)))
+    database.add_relation(
+        tuple_independent_relation(
+            relation_name, ("A", "B"), rows, world_table,
+            variable_prefix=f"{relation_name.lower()}t",
+        )
+    )
+    return database
+
+
+def random_attribute_level_database(
+    rng: random.Random,
+    *,
+    relation_name: str = "R",
+    num_entities: int = 3,
+    num_values: int = 3,
+    max_alternatives: int = 3,
+) -> ProbabilisticDatabase:
+    """A small random attribute-level-uncertainty database (as in Figure 2).
+
+    Each entity has one uncertain attribute modelled by a dedicated variable
+    whose alternatives are values of the attribute; the relation has schema
+    ``(ID, VALUE)`` with one row per alternative.
+    """
+    world_table = WorldTable()
+    database = ProbabilisticDatabase(world_table)
+    relation = database.create_relation(relation_name, ("ID", "VALUE"))
+    for entity in range(num_entities):
+        variable = f"e{entity}"
+        alternative_count = rng.randint(2, max_alternatives)
+        values = rng.sample(range(num_values * 2), alternative_count)
+        weights = [rng.uniform(0.1, 1.0) for _ in values]
+        distribution = dict(zip(values, weights))
+        world_table.add_variable(variable, distribution, normalize=True)
+        for value in values:
+            relation.add(WSDescriptor({variable: value}), (entity, value))
+    return database

@@ -1,0 +1,281 @@
+"""A TPC-H-like workload generator (paper, Section 7, Figure 10).
+
+The paper's first data set consists of tuple-independent probabilistic
+databases obtained from relational databases produced by TPC-H dbgen: every
+tuple carries a Boolean random variable whose probability is chosen at
+random.  dbgen itself is not redistributable here, so this module generates a
+synthetic equivalent with:
+
+* the same three relations (``customer``, ``orders``, ``lineitem``) and the
+  attributes referenced by the two benchmark queries;
+* the same cardinality ratios as TPC-H (150 000 customers, 1 500 000 orders,
+  ~6 000 000 lineitems at scale factor 1), scaled by the ``scale_factor``;
+* the same key relationships (``o_custkey`` → customer, ``l_orderkey`` →
+  order) and the same value distributions for the filter attributes
+  (market segments, order/ship dates, discount, quantity);
+* per-tuple Boolean variables with probabilities drawn uniformly at random,
+  exactly as in the paper.
+
+What matters for reproducing Figure 10 is the *shape* of the answer ws-sets:
+Q1 joins three relations, so its answer descriptors have length 3 and share
+variables heavily, whereas Q2 is a single-relation selection whose answer
+descriptors have length 1 and are pairwise independent — which is why INDVE
+is dramatically faster on Q2.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from repro.core.wsset import WSSet
+from repro.db.algebra import equijoin, project_to_wsset, select
+from repro.db.database import ProbabilisticDatabase
+from repro.db.predicates import attr
+from repro.db.tuple_independent import tuple_independent_relation
+from repro.db.world_table import WorldTable
+
+#: The TPC-H market segments (used by Q1's ``BUILDING`` filter).
+MARKET_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+
+#: TPC-H cardinalities at scale factor 1.
+CUSTOMERS_AT_SF1 = 150_000
+ORDERS_AT_SF1 = 1_500_000
+AVERAGE_LINEITEMS_PER_ORDER = 4
+
+CUSTOMER_SCHEMA = ("c_custkey", "c_name", "c_mktsegment", "c_acctbal")
+ORDERS_SCHEMA = ("o_orderkey", "o_custkey", "o_orderdate", "o_totalprice")
+LINEITEM_SCHEMA = (
+    "l_orderkey",
+    "l_linenumber",
+    "l_quantity",
+    "l_discount",
+    "l_shipdate",
+    "l_extendedprice",
+)
+
+_DATE_ORIGIN = datetime.date(1992, 1, 1)
+_DATE_SPAN_DAYS = (datetime.date(1998, 8, 2) - _DATE_ORIGIN).days
+
+
+@dataclass
+class TPCHInstance:
+    """A generated probabilistic TPC-H-like database plus its size statistics."""
+
+    database: ProbabilisticDatabase
+    scale_factor: float
+    seed: int
+    customer_count: int
+    orders_count: int
+    lineitem_count: int
+
+    @property
+    def variable_count(self) -> int:
+        """Total number of Boolean tuple variables (the "#Input Vars" of Figure 10)."""
+        return len(self.database.world_table)
+
+    def relation_variable_count(self, *names: str) -> int:
+        """Number of tuple variables of the given relations (per-query input size)."""
+        total = 0
+        for name in names:
+            total += len(self.database.relation(name).variables())
+        return total
+
+
+class TPCHGenerator:
+    """Seeded generator of tuple-independent TPC-H-like probabilistic databases.
+
+    Examples
+    --------
+    >>> instance = TPCHGenerator(scale_factor=0.0005, seed=7).generate()
+    >>> sorted(instance.database.relation_names)
+    ['customer', 'lineitem', 'orders']
+    """
+
+    def __init__(
+        self,
+        scale_factor: float = 0.001,
+        seed: int = 0,
+        *,
+        probability_low: float = 0.05,
+        probability_high: float = 0.95,
+    ) -> None:
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.probability_low = probability_low
+        self.probability_high = probability_high
+
+    def generate(self) -> TPCHInstance:
+        """Generate the probabilistic database for this generator's scale factor."""
+        rng = random.Random(self.seed)
+        customer_count = max(1, round(CUSTOMERS_AT_SF1 * self.scale_factor))
+        orders_count = max(1, round(ORDERS_AT_SF1 * self.scale_factor))
+
+        world_table = WorldTable()
+        database = ProbabilisticDatabase(world_table)
+
+        customers = self._customer_rows(rng, customer_count)
+        database.add_relation(
+            tuple_independent_relation(
+                "customer", CUSTOMER_SCHEMA, self._with_probabilities(rng, customers),
+                world_table, variable_prefix="c",
+            )
+        )
+
+        orders = self._orders_rows(rng, orders_count, customer_count)
+        database.add_relation(
+            tuple_independent_relation(
+                "orders", ORDERS_SCHEMA, self._with_probabilities(rng, orders),
+                world_table, variable_prefix="o",
+            )
+        )
+
+        lineitems = self._lineitem_rows(rng, orders)
+        database.add_relation(
+            tuple_independent_relation(
+                "lineitem", LINEITEM_SCHEMA, self._with_probabilities(rng, lineitems),
+                world_table, variable_prefix="l",
+            )
+        )
+
+        return TPCHInstance(
+            database=database,
+            scale_factor=self.scale_factor,
+            seed=self.seed,
+            customer_count=customer_count,
+            orders_count=orders_count,
+            lineitem_count=len(lineitems),
+        )
+
+    # ------------------------------------------------------------------
+    # Row generation
+    # ------------------------------------------------------------------
+    def _with_probabilities(self, rng: random.Random, rows: list[tuple]) -> list:
+        return [
+            (row, rng.uniform(self.probability_low, self.probability_high))
+            for row in rows
+        ]
+
+    @staticmethod
+    def _random_date(rng: random.Random) -> str:
+        offset = rng.randrange(_DATE_SPAN_DAYS)
+        return (_DATE_ORIGIN + datetime.timedelta(days=offset)).isoformat()
+
+    def _customer_rows(self, rng: random.Random, count: int) -> list[tuple]:
+        rows = []
+        for custkey in range(1, count + 1):
+            rows.append(
+                (
+                    custkey,
+                    f"Customer#{custkey:09d}",
+                    rng.choice(MARKET_SEGMENTS),
+                    round(rng.uniform(-999.99, 9999.99), 2),
+                )
+            )
+        return rows
+
+    def _orders_rows(
+        self, rng: random.Random, count: int, customer_count: int
+    ) -> list[tuple]:
+        rows = []
+        for orderkey in range(1, count + 1):
+            rows.append(
+                (
+                    orderkey,
+                    rng.randint(1, customer_count),
+                    self._random_date(rng),
+                    round(rng.uniform(800.0, 450_000.0), 2),
+                )
+            )
+        return rows
+
+    def _lineitem_rows(self, rng: random.Random, orders: list[tuple]) -> list[tuple]:
+        rows = []
+        for order in orders:
+            orderkey = order[0]
+            for linenumber in range(1, rng.randint(1, 2 * AVERAGE_LINEITEMS_PER_ORDER - 1) + 1):
+                quantity = rng.randint(1, 50)
+                extended_price = round(quantity * rng.uniform(900.0, 2000.0), 2)
+                rows.append(
+                    (
+                        orderkey,
+                        linenumber,
+                        quantity,
+                        round(rng.choice([i / 100 for i in range(0, 11)]), 2),
+                        self._random_date(rng),
+                        extended_price,
+                    )
+                )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# The two Boolean queries of Figure 10
+# ----------------------------------------------------------------------
+def query_q1(
+    database: ProbabilisticDatabase,
+    *,
+    mktsegment: str = "BUILDING",
+    orderdate_after: str = "1995-03-15",
+) -> WSSet:
+    """Q1: three-way join (Figure 10).
+
+    ``select true from customer c, orders o, lineitem l where
+    c.mktsegment = 'BUILDING' and c.custkey = o.custkey and
+    o.orderkey = l.orderkey and o.orderdate > '1995-03-15'``
+
+    Returns the ws-set of the answer descriptors (length-3 descriptors, one
+    Boolean variable per joined tuple), whose probability is the query
+    confidence.
+    """
+    customer = select(
+        database.relation("customer"), attr("c_mktsegment") == mktsegment
+    )
+    orders = select(
+        database.relation("orders"), attr("o_orderdate") > orderdate_after
+    )
+    customer_orders = equijoin(customer, orders, [("c_custkey", "o_custkey")])
+    answer = equijoin(
+        customer_orders, database.relation("lineitem"), [("o_orderkey", "l_orderkey")]
+    )
+    return project_to_wsset(answer)
+
+
+def query_q2(
+    database: ProbabilisticDatabase,
+    *,
+    shipdate_from: str = "1994-01-01",
+    shipdate_to: str = "1996-01-01",
+    discount_low: float = 0.05,
+    discount_high: float = 0.08,
+    quantity_below: int = 24,
+) -> WSSet:
+    """Q2: single-relation selection (Figure 10).
+
+    ``select true from lineitem where shipdate between '1994-01-01' and
+    '1996-01-01' and discount between 0.05 and 0.08 and quantity < 24``
+
+    The answer descriptors have length 1 and are pairwise independent, which
+    is why this query is the "safe"/PTIME case and INDVE handles it cheaply.
+    """
+    predicate = (
+        attr("l_shipdate").between(shipdate_from, shipdate_to)
+        & attr("l_discount").between(discount_low, discount_high)
+        & (attr("l_quantity") < quantity_below)
+    )
+    answer = select(database.relation("lineitem"), predicate)
+    return project_to_wsset(answer)
+
+
+@dataclass
+class Figure10Row:
+    """One row of the Figure 10 table: query, scale, sizes, and timing slot."""
+
+    query: str
+    scale_factor: float
+    input_variables: int
+    wsset_size: int
+    seconds: float = field(default=float("nan"))

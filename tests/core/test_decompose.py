@@ -1,0 +1,143 @@
+"""Unit tests for the ComputeTree decomposition (Figure 4, Theorem 4.4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force_probability
+from repro.core.decompose import (
+    Budget,
+    DecompositionStats,
+    compute_tree,
+    connected_components,
+    deduplicate,
+    remove_subsumed,
+    split_on_variable,
+    to_internal,
+)
+from repro.core.wsset import WSSet
+from repro.core.wstree import BottomNode, IndependentNode, LeafNode
+from repro.db.world_table import WorldTable
+from repro.errors import BudgetExceededError
+from repro.workloads.random_instances import random_world_table, random_wsset
+
+
+class TestBaseCases:
+    def test_empty_wsset_gives_bottom(self, figure3_world_table):
+        tree = compute_tree(WSSet.empty(), figure3_world_table)
+        assert isinstance(tree, BottomNode)
+
+    def test_universal_wsset_gives_leaf(self, figure3_world_table):
+        tree = compute_tree(WSSet.universal(), figure3_world_table)
+        assert isinstance(tree, LeafNode)
+
+    def test_wsset_containing_empty_descriptor_gives_leaf(self, figure3_world_table):
+        tree = compute_tree(WSSet([{"x": 1}, {}]), figure3_world_table)
+        assert isinstance(tree, LeafNode)
+
+
+class TestFigure3:
+    def test_tree_is_equivalent_to_input(self, figure3_wsset, figure3_world_table):
+        tree = compute_tree(figure3_wsset, figure3_world_table)
+        tree.validate(figure3_world_table)
+        assert brute_force_probability(
+            tree.to_wsset(), figure3_world_table
+        ) == pytest.approx(brute_force_probability(figure3_wsset, figure3_world_table))
+
+    def test_root_is_independent_node(self, figure3_wsset, figure3_world_table):
+        """S splits into {x,y,z}-descriptors and {u,v}-descriptors (Example 4.3)."""
+        tree = compute_tree(figure3_wsset, figure3_world_table)
+        assert isinstance(tree, IndependentNode)
+        assert len(tree.children) == 2
+
+    def test_probability_of_tree_matches_example_47(self, figure3_wsset, figure3_world_table):
+        tree = compute_tree(figure3_wsset, figure3_world_table)
+        assert tree.probability(figure3_world_table) == pytest.approx(0.7578)
+
+    def test_ve_only_tree_is_still_equivalent(self, figure3_wsset, figure3_world_table):
+        tree = compute_tree(
+            figure3_wsset, figure3_world_table, use_independent_partitioning=False
+        )
+        tree.validate(figure3_world_table)
+        assert tree.probability(figure3_world_table) == pytest.approx(0.7578)
+
+    def test_stats_are_collected(self, figure3_wsset, figure3_world_table):
+        stats = DecompositionStats()
+        compute_tree(figure3_wsset, figure3_world_table, stats=stats)
+        assert stats.recursive_calls > 0
+        assert stats.independent_nodes >= 1
+        assert stats.variable_nodes >= 2
+        assert stats.node_count() >= 5
+        assert stats.max_depth >= 2
+
+
+class TestHelpers:
+    def test_to_internal_and_deduplicate(self):
+        internal = to_internal(WSSet([{"x": 1}, {"x": 1}, {"y": 2}]))
+        assert deduplicate(internal + [{"x": 1}]) == [{"x": 1}, {"y": 2}]
+
+    def test_remove_subsumed(self):
+        descriptors = [{"x": 1}, {"x": 1, "y": 2}, {"z": 3}]
+        assert remove_subsumed(descriptors) == [{"x": 1}, {"z": 3}]
+
+    def test_remove_subsumed_keeps_duplicates_once(self):
+        descriptors = [{"x": 1}, {"x": 1}]
+        assert remove_subsumed(descriptors) == [{"x": 1}]
+
+    def test_connected_components(self):
+        descriptors = [{"x": 1, "y": 2}, {"y": 1}, {"z": 3}, {"w": 1, "q": 2}]
+        components = connected_components(descriptors)
+        as_sets = sorted(
+            [sorted(frozenset(d.items()) for d in component) for component in components],
+            key=repr,
+        )
+        assert len(components) == 3
+        assert sum(len(component) for component in components) == 4
+        assert as_sets is not None
+
+    def test_split_on_variable(self):
+        descriptors = [{"x": 1, "y": 2}, {"x": 2}, {"z": 3}]
+        by_value, unmentioned = split_on_variable(descriptors, "x")
+        assert by_value == {1: [{"y": 2}], 2: [{}]}
+        assert unmentioned == [{"z": 3}]
+
+
+class TestBudget:
+    def test_budget_limits_recursion(self, figure3_wsset, figure3_world_table):
+        with pytest.raises(BudgetExceededError):
+            compute_tree(figure3_wsset, figure3_world_table, budget=Budget(max_calls=2))
+
+    def test_budget_allows_enough_calls(self, figure3_wsset, figure3_world_table):
+        tree = compute_tree(
+            figure3_wsset, figure3_world_table, budget=Budget(max_calls=10_000)
+        )
+        assert tree.probability(figure3_world_table) == pytest.approx(0.7578)
+
+
+class TestRandomisedEquivalence:
+    """Theorem 4.4 on random instances: the tree represents the same world-set."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("heuristic", ["minlog", "minmax", "frequency"])
+    def test_tree_equivalence(self, seed, heuristic):
+        rng = random.Random(seed)
+        world_table = random_world_table(rng, num_variables=4, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=5, max_length=3)
+        tree = compute_tree(ws_set, world_table, heuristic=heuristic)
+        tree.validate(world_table)
+        assert brute_force_probability(tree.to_wsset(), world_table) == pytest.approx(
+            brute_force_probability(ws_set, world_table)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tree_equivalence_without_partitioning(self, seed):
+        rng = random.Random(1000 + seed)
+        world_table = random_world_table(rng, num_variables=4, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=5, max_length=3)
+        tree = compute_tree(ws_set, world_table, use_independent_partitioning=False)
+        tree.validate(world_table)
+        assert brute_force_probability(tree.to_wsset(), world_table) == pytest.approx(
+            brute_force_probability(ws_set, world_table)
+        )

@@ -1,0 +1,164 @@
+"""Unit tests for world-set descriptors (Sections 2 and 3.1 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptors import EMPTY_DESCRIPTOR, WSDescriptor, as_descriptor
+from repro.errors import DescriptorError, InconsistentDescriptorError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = WSDescriptor({"x": 1, "y": 2})
+        assert len(d) == 2
+        assert d["x"] == 1
+        assert d.get("y") == 2
+
+    def test_from_pairs(self):
+        d = WSDescriptor([("x", 1), ("y", 2)])
+        assert d == WSDescriptor({"x": 1, "y": 2})
+
+    def test_duplicate_consistent_pairs_are_allowed(self):
+        d = WSDescriptor([("x", 1), ("x", 1)])
+        assert len(d) == 1
+
+    def test_non_functional_pairs_raise(self):
+        with pytest.raises(DescriptorError):
+            WSDescriptor([("x", 1), ("x", 2)])
+
+    def test_empty_descriptor_is_singleton_constant(self):
+        assert EMPTY_DESCRIPTOR.is_empty
+        assert len(EMPTY_DESCRIPTOR) == 0
+        assert not EMPTY_DESCRIPTOR
+
+    def test_as_descriptor_coerces_and_passes_through(self):
+        d = WSDescriptor({"x": 1})
+        assert as_descriptor(d) is d
+        assert as_descriptor({"x": 1}) == d
+
+    def test_get_default(self):
+        d = WSDescriptor({"x": 1})
+        assert d.get("missing") is None
+        assert d.get("missing", 7) == 7
+
+
+class TestSection31Properties:
+    """The worked Example 3.1: d1={j→1}, d2={j→7}, d3={j→1,b→4}, d4={b→4}."""
+
+    d1 = WSDescriptor({"j": 1})
+    d2 = WSDescriptor({"j": 7})
+    d3 = WSDescriptor({"j": 1, "b": 4})
+    d4 = WSDescriptor({"b": 4})
+
+    def test_mutex_pairs(self):
+        assert self.d1.is_mutex_with(self.d2)
+        assert self.d2.is_mutex_with(self.d3)
+        assert not self.d1.is_mutex_with(self.d3)
+        assert not self.d1.is_mutex_with(self.d4)
+
+    def test_containment(self):
+        assert self.d3.is_contained_in(self.d1)
+        assert not self.d1.is_contained_in(self.d3)
+        assert self.d3.is_contained_in(self.d4)
+
+    def test_independence_pairs(self):
+        assert self.d1.is_independent_of(self.d4)
+        assert self.d2.is_independent_of(self.d4)
+        assert not self.d1.is_independent_of(self.d3)
+
+    def test_every_descriptor_contained_in_empty(self):
+        assert self.d1.is_contained_in(EMPTY_DESCRIPTOR)
+        assert EMPTY_DESCRIPTOR.is_contained_in(EMPTY_DESCRIPTOR)
+        assert not EMPTY_DESCRIPTOR.is_contained_in(self.d1)
+
+    def test_consistency_is_symmetric(self):
+        pairs = [(self.d1, self.d2), (self.d1, self.d3), (self.d2, self.d4)]
+        for a, b in pairs:
+            assert a.is_consistent_with(b) == b.is_consistent_with(a)
+
+    def test_equivalence_is_assignment_equality(self):
+        assert self.d1.is_equivalent_to(WSDescriptor({"j": 1}))
+        assert not self.d1.is_equivalent_to(self.d3)
+
+
+class TestDerivedDescriptors:
+    def test_union_of_consistent_descriptors(self):
+        d = WSDescriptor({"x": 1}).union(WSDescriptor({"y": 2}))
+        assert d == WSDescriptor({"x": 1, "y": 2})
+
+    def test_union_of_inconsistent_descriptors_raises(self):
+        with pytest.raises(InconsistentDescriptorError):
+            WSDescriptor({"x": 1}).union(WSDescriptor({"x": 2}))
+
+    def test_intersect_returns_none_on_inconsistency(self):
+        assert WSDescriptor({"x": 1}).intersect(WSDescriptor({"x": 2})) is None
+
+    def test_intersect_of_contained_descriptor_is_the_larger(self):
+        d1 = WSDescriptor({"j": 1})
+        d3 = WSDescriptor({"j": 1, "b": 4})
+        assert d1.intersect(d3) == d3
+
+    def test_extended(self):
+        d = WSDescriptor({"x": 1}).extended("y", 2)
+        assert d == WSDescriptor({"x": 1, "y": 2})
+
+    def test_extended_conflicting_raises(self):
+        with pytest.raises(InconsistentDescriptorError):
+            WSDescriptor({"x": 1}).extended("x", 2)
+
+    def test_extended_same_value_is_noop(self):
+        d = WSDescriptor({"x": 1})
+        assert d.extended("x", 1) == d
+
+    def test_without_and_restricted_to(self):
+        d = WSDescriptor({"x": 1, "y": 2, "z": 3})
+        assert d.without(["y"]) == WSDescriptor({"x": 1, "z": 3})
+        assert d.restricted_to(["y"]) == WSDescriptor({"y": 2})
+
+    def test_renamed(self):
+        d = WSDescriptor({"x": 1, "y": 2})
+        assert d.renamed({"x": "x'"}) == WSDescriptor({"x'": 1, "y": 2})
+
+    def test_difference_from(self):
+        d1 = WSDescriptor({"x": 1})
+        d3 = WSDescriptor({"x": 1, "b": 4})
+        assert d1.difference_from(d3) == {"b": 4}
+        assert d3.difference_from(d1) == {}
+
+
+class TestSemantics:
+    def test_satisfaction_by_world(self):
+        d = WSDescriptor({"x": 1, "y": 2})
+        assert d.is_satisfied_by({"x": 1, "y": 2, "z": 9})
+        assert not d.is_satisfied_by({"x": 1, "y": 3})
+        assert not d.is_satisfied_by({"x": 1})
+
+    def test_empty_descriptor_satisfied_by_all_worlds(self):
+        assert EMPTY_DESCRIPTOR.is_satisfied_by({})
+        assert EMPTY_DESCRIPTOR.is_satisfied_by({"x": 1})
+
+    def test_probability(self, figure2_world_table):
+        d = WSDescriptor({"j": 7, "b": 7})
+        assert d.probability(figure2_world_table) == pytest.approx(0.56)
+        assert EMPTY_DESCRIPTOR.probability(figure2_world_table) == pytest.approx(1.0)
+
+
+class TestHashingAndRepr:
+    def test_equal_descriptors_hash_equal(self):
+        assert hash(WSDescriptor({"x": 1, "y": 2})) == hash(WSDescriptor({"y": 2, "x": 1}))
+
+    def test_usable_in_sets(self):
+        descriptors = {WSDescriptor({"x": 1}), WSDescriptor({"x": 1}), WSDescriptor({"x": 2})}
+        assert len(descriptors) == 2
+
+    def test_repr_is_deterministic(self):
+        assert repr(WSDescriptor({"b": 2, "a": 1})) == repr(WSDescriptor({"a": 1, "b": 2}))
+
+    def test_repr_of_empty(self):
+        assert "∅" in repr(EMPTY_DESCRIPTOR)
+
+    def test_sorted_items_deterministic_across_insertion_orders(self):
+        a = WSDescriptor({"x": 1, "y": 2}).sorted_items()
+        b = WSDescriptor({"y": 2, "x": 1}).sorted_items()
+        assert a == b

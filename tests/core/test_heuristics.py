@@ -1,0 +1,141 @@
+"""Unit tests for the variable-choice heuristics (Section 4.2, Figure 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.heuristics import (
+    FirstVariableHeuristic,
+    Heuristic,
+    MinLogHeuristic,
+    MinMaxHeuristic,
+    MostFrequentHeuristic,
+    RandomHeuristic,
+    available_heuristics,
+    count_occurrences,
+    make_heuristic,
+)
+from repro.db.world_table import WorldTable
+
+
+@pytest.fixture
+def binary_table() -> WorldTable:
+    w = WorldTable()
+    for name in ("x", "y", "z"):
+        w.add_variable(name, {0: 0.5, 1: 0.5})
+    return w
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in available_heuristics():
+            assert isinstance(make_heuristic(name), Heuristic)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_heuristic("does-not-exist")
+
+    def test_instance_passes_through(self):
+        heuristic = MinMaxHeuristic()
+        assert make_heuristic(heuristic) is heuristic
+
+    def test_available_heuristics_contains_paper_ones(self):
+        names = available_heuristics()
+        assert "minlog" in names
+        assert "minmax" in names
+
+
+class TestCountOccurrences:
+    def test_counts(self):
+        descriptors = [{"x": 1, "y": 2}, {"x": 1}, {"x": 2}]
+        occurrences = count_occurrences(descriptors)
+        assert occurrences == {"x": {1: 2, 2: 1}, "y": {2: 1}}
+
+    def test_empty(self):
+        assert count_occurrences([]) == {}
+
+
+class TestMinLog:
+    def test_matches_manual_log_sum_exp(self):
+        heuristic = MinLogHeuristic()
+        # Variable with two occurring values, branch sizes 3 and 5, and no
+        # missing assignment.  Figure 6 initialises e = 0 (i.e. a summand of
+        # 2^0) and then accumulates exactly, so the estimate is
+        # log2(2^0 + 2^3 + 2^5).
+        estimate = heuristic.estimate("x", {0: 1, 1: 3}, t_size=2, domain_size=2)
+        assert estimate == pytest.approx(math.log2(1 + 2**3 + 2**5))
+
+    def test_missing_assignment_adds_t_branch(self):
+        heuristic = MinLogHeuristic()
+        # One occurring value (branch size 4) plus the T-only branch of size 2.
+        estimate = heuristic.estimate("x", {0: 2}, t_size=2, domain_size=3)
+        assert estimate == pytest.approx(math.log2(2**2 + 2**4))
+
+    def test_large_exponents_do_not_overflow(self):
+        heuristic = MinLogHeuristic()
+        estimate = heuristic.estimate("x", {0: 500, 1: 800}, t_size=10_000, domain_size=2)
+        assert math.isfinite(estimate)
+        assert estimate >= 10_000
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            MinLogHeuristic(base=1.0)
+
+    def test_remark_46_scenario_prefers_x(self, binary_table):
+        """Remark 4.6: minmax prefers y but minlog prefers x.
+
+        x occurs with the same assignment in n-1 descriptors (minmax estimate
+        n); y occurs twice with different assignments (minmax estimate n-1).
+        minlog recognises that eliminating y duplicates almost everything.
+        """
+        n = 6
+        # Occurrence statistics of the Remark's scenario: x occurs with one
+        # assignment in n-1 of the n descriptors; y occurs twice with
+        # different assignments (and has a third, unused alternative).
+        occurrences = {
+            "x": {0: n - 1},
+            "y": {0: 1, 1: 1},
+        }
+        table = WorldTable()
+        table.add_variable("x", {0: 0.5, 1: 0.5})
+        table.add_variable("y", {0: 0.4, 1: 0.3, 2: 0.3})
+        minmax_choice = MinMaxHeuristic().select_variable(occurrences, n, table)
+        minlog_choice = MinLogHeuristic().select_variable(occurrences, n, table)
+        assert minmax_choice == "y"
+        assert minlog_choice == "x"
+
+
+class TestMinMax:
+    def test_estimate_is_largest_branch(self):
+        heuristic = MinMaxHeuristic()
+        assert heuristic.estimate("x", {0: 3, 1: 1}, t_size=2, domain_size=2) == 5.0
+
+    def test_missing_assignment_considers_t(self):
+        heuristic = MinMaxHeuristic()
+        assert heuristic.estimate("x", {0: 1}, t_size=4, domain_size=2) == 5.0
+
+
+class TestSelection:
+    def test_select_prefers_partitioning_variable(self, binary_table):
+        # x splits the set cleanly (appears in every descriptor with both
+        # values); y appears only once, so eliminating it copies T everywhere.
+        descriptors = [{"x": 0, "y": 1}, {"x": 1}, {"x": 0}]
+        occurrences = count_occurrences(descriptors)
+        for heuristic in (MinLogHeuristic(), MinMaxHeuristic()):
+            assert heuristic.select_variable(occurrences, len(descriptors), binary_table) == "x"
+
+    def test_first_variable_heuristic(self, binary_table):
+        occurrences = count_occurrences([{"z": 1}, {"y": 0}])
+        assert FirstVariableHeuristic().select_variable(occurrences, 2, binary_table) == "z"
+
+    def test_most_frequent_heuristic(self, binary_table):
+        occurrences = count_occurrences([{"z": 1, "y": 0}, {"y": 1}, {"y": 0}])
+        assert MostFrequentHeuristic().select_variable(occurrences, 3, binary_table) == "y"
+
+    def test_random_heuristic_is_seeded(self, binary_table):
+        occurrences = count_occurrences([{"x": 0}, {"y": 1}, {"z": 0}])
+        first = RandomHeuristic(seed=3).select_variable(occurrences, 3, binary_table)
+        second = RandomHeuristic(seed=3).select_variable(occurrences, 3, binary_table)
+        assert first == second

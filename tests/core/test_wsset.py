@@ -1,0 +1,185 @@
+"""Unit tests for ws-sets and their set algebra (Section 3.2 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import brute_force_probability, enumerate_worlds
+from repro.core.descriptors import EMPTY_DESCRIPTOR, WSDescriptor
+from repro.core.wsset import WSSet, ws_difference, ws_intersect, ws_union
+from repro.db.world_table import WorldTable
+
+
+@pytest.fixture
+def two_variable_table() -> WorldTable:
+    w = WorldTable()
+    w.add_variable("j", {1: 0.2, 7: 0.8})
+    w.add_variable("b", {4: 0.3, 7: 0.7})
+    return w
+
+
+def worlds_of(ws_set: WSSet, world_table: WorldTable) -> set:
+    """Ground-truth world-set of a ws-set by enumeration."""
+    return {
+        tuple(sorted(world.items()))
+        for world, _ in enumerate_worlds(world_table)
+        if ws_set.is_satisfied_by(world)
+    }
+
+
+class TestConstruction:
+    def test_deduplication(self):
+        s = WSSet([{"x": 1}, {"x": 1}, {"x": 2}])
+        assert len(s) == 2
+
+    def test_of_constructor(self):
+        assert WSSet.of({"x": 1}, {"y": 2}) == WSSet([{"x": 1}, {"y": 2}])
+
+    def test_empty_and_universal(self):
+        assert WSSet.empty().is_empty
+        assert WSSet.universal().contains_universal
+        assert not WSSet.universal().is_empty
+
+    def test_variables(self):
+        s = WSSet([{"x": 1}, {"y": 2, "z": 3}])
+        assert s.variables() == frozenset({"x", "y", "z"})
+
+    def test_total_size(self):
+        s = WSSet([{"x": 1}, {"y": 2, "z": 3}])
+        assert s.total_size() == 3
+
+    def test_membership(self):
+        s = WSSet([{"x": 1}])
+        assert WSDescriptor({"x": 1}) in s
+        assert WSDescriptor({"x": 2}) not in s
+        assert "not a descriptor" not in s
+
+    def test_equality_is_order_insensitive(self):
+        assert WSSet([{"x": 1}, {"y": 2}]) == WSSet([{"y": 2}, {"x": 1}])
+
+
+class TestExample33:
+    """Example 3.3: intersections and differences of the Example 3.1 descriptors."""
+
+    def setup_method(self):
+        self.w = WorldTable()
+        self.w.add_variable("j", {1: 0.2, 7: 0.8})
+        self.w.add_variable("b", {4: 0.3, 7: 0.7})
+        self.d1 = WSSet([{"j": 1}])
+        self.d2 = WSSet([{"j": 7}])
+        self.d3 = WSSet([{"j": 1, "b": 4}])
+
+    def test_intersections_of_mutex_sets_are_empty(self):
+        assert self.d1.intersect(self.d2).is_empty
+        assert self.d2.intersect(self.d3).is_empty
+
+    def test_intersection_of_contained_descriptor(self):
+        assert self.d1.intersect(self.d3) == self.d3
+
+    def test_difference_of_mutex_sets_is_identity(self):
+        assert self.d2.difference(self.d1, self.w) == self.d2
+        assert self.d2.difference(self.d3, self.w) == self.d2
+
+    def test_difference_carves_out_contained_worlds(self):
+        result = self.d1.difference(self.d3, self.w)
+        assert result == WSSet([{"j": 1, "b": 7}])
+
+    def test_difference_of_contained_from_container_is_empty(self):
+        assert self.d3.difference(self.d1, self.w).is_empty
+
+
+class TestSetOperationSemantics:
+    """Proposition 3.4: the symbolic operations match world-set semantics."""
+
+    def test_union_semantics(self, two_variable_table):
+        s1 = WSSet([{"j": 1}])
+        s2 = WSSet([{"b": 4}])
+        union = ws_union(s1, s2)
+        assert worlds_of(union, two_variable_table) == (
+            worlds_of(s1, two_variable_table) | worlds_of(s2, two_variable_table)
+        )
+
+    def test_intersect_semantics(self, two_variable_table):
+        s1 = WSSet([{"j": 1}, {"b": 7}])
+        s2 = WSSet([{"b": 4}, {"j": 7}])
+        intersection = ws_intersect(s1, s2)
+        assert worlds_of(intersection, two_variable_table) == (
+            worlds_of(s1, two_variable_table) & worlds_of(s2, two_variable_table)
+        )
+
+    def test_difference_semantics(self, two_variable_table):
+        s1 = WSSet([{"j": 1}, {"b": 7}])
+        s2 = WSSet([{"j": 7, "b": 7}])
+        difference = ws_difference(s1, s2, two_variable_table)
+        assert worlds_of(difference, two_variable_table) == (
+            worlds_of(s1, two_variable_table) - worlds_of(s2, two_variable_table)
+        )
+
+    def test_difference_of_single_descriptor_is_pairwise_mutex(self, two_variable_table):
+        # Proposition 3.4: carving one descriptor's world-set produces pairwise
+        # mutex pieces (the property Section 6's WE method relies on).
+        s1 = WSSet([EMPTY_DESCRIPTOR])
+        s2 = WSSet([{"j": 7, "b": 7}, {"j": 1, "b": 4}])
+        assert s1.difference(s2, two_variable_table).is_pairwise_mutex()
+
+    def test_complement_of_example_23(self, two_variable_table):
+        """Example 2.3: complement of {j→7, b→7} covers the other three worlds."""
+        violations = WSSet([{"j": 7, "b": 7}])
+        condition = violations.complement(two_variable_table)
+        probability = brute_force_probability(condition, two_variable_table)
+        assert probability == pytest.approx(0.44)
+        worlds = worlds_of(condition, two_variable_table)
+        assert tuple(sorted({"j": 7, "b": 7}.items())) not in worlds
+        assert len(worlds) == 3
+
+    def test_complement_of_universal_is_empty(self, two_variable_table):
+        assert WSSet.universal().complement(two_variable_table).is_empty
+
+    def test_complement_of_empty_is_universal(self, two_variable_table):
+        complement = WSSet.empty().complement(two_variable_table)
+        assert brute_force_probability(complement, two_variable_table) == pytest.approx(1.0)
+
+
+class TestLiftedProperties:
+    def test_example_32_mutex_and_independence(self):
+        d1, d2, d3, d4 = {"j": 1}, {"j": 7}, {"j": 1, "b": 4}, {"b": 4}
+        assert WSSet([d1]).is_mutex_with(WSSet([d2]))
+        assert WSSet([d1, d2]).is_independent_of(WSSet([d4]))
+        # {d1,d2} vs {d3,d4}: not independent syntactically, but after dropping
+        # the subsumed d3 the remaining {d4} is independent of {d1,d2}.
+        assert not WSSet([d1, d2]).is_independent_of(WSSet([d3, d4]))
+        simplified = WSSet([d3, d4]).without_subsumed()
+        assert simplified == WSSet([d4])
+        assert WSSet([d1, d2]).is_independent_of(simplified)
+
+    def test_equivalence_via_difference(self, two_variable_table):
+        s1 = WSSet([{"j": 1}, {"j": 7}])
+        s2 = WSSet.universal()
+        assert s1.is_equivalent_to(s2, two_variable_table)
+        assert not s1.is_equivalent_to(WSSet([{"j": 1}]), two_variable_table)
+
+    def test_without_singleton_variables(self):
+        w = WorldTable()
+        w.add_variable("s", {0: 1.0})
+        w.add_variable("x", {1: 0.5, 2: 0.5})
+        s = WSSet([{"s": 0, "x": 1}, {"x": 2}])
+        simplified = s.without_singleton_variables(w)
+        assert simplified == WSSet([{"x": 1}, {"x": 2}])
+
+    def test_consistent_with(self):
+        s = WSSet([{"x": 1}, {"x": 2, "y": 1}, {"y": 2}])
+        assert s.consistent_with("x", 1) == WSSet([{"x": 1}, {"y": 2}])
+        assert s.consistent_with("x", 2) == WSSet([{"x": 2, "y": 1}, {"y": 2}])
+
+    def test_map_and_add(self):
+        s = WSSet([{"x": 1}])
+        extended = s.add({"y": 2})
+        assert len(extended) == 2
+        renamed = s.map(lambda d: d.renamed({"x": "x'"}))
+        assert renamed == WSSet([{"x'": 1}])
+
+    def test_naive_probability_upper_bound(self, two_variable_table):
+        s = WSSet([{"j": 1}, {"j": 7}])
+        assert s.naive_probability_upper_bound(two_variable_table) == pytest.approx(1.0)
+        overlapping = WSSet([{"j": 1}, EMPTY_DESCRIPTOR])
+        assert overlapping.naive_probability_upper_bound(two_variable_table) == pytest.approx(1.2)

@@ -1,0 +1,154 @@
+"""Unit tests for ws-trees (Definition 4.1, Figure 3, Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wstree import (
+    BOTTOM,
+    LEAF,
+    BottomNode,
+    IndependentNode,
+    LeafNode,
+    VariableNode,
+)
+from repro.core.wsset import WSSet
+from repro.errors import WSTreeError
+
+
+def figure3_tree():
+    """The ws-tree R of Figure 3, built by hand."""
+    left = VariableNode(
+        "x",
+        (
+            (1, LEAF),
+            (
+                2,
+                IndependentNode(
+                    (
+                        VariableNode("y", ((1, LEAF),)),
+                        VariableNode("z", ((1, LEAF),)),
+                    )
+                ),
+            ),
+        ),
+    )
+    right = VariableNode(
+        "u",
+        (
+            (1, VariableNode("v", ((1, LEAF),))),
+            (2, LEAF),
+        ),
+    )
+    return IndependentNode((left, right))
+
+
+class TestLeaves:
+    def test_leaf_probability_is_one(self, figure3_world_table):
+        assert LeafNode().probability(figure3_world_table) == 1.0
+
+    def test_bottom_probability_is_zero(self, figure3_world_table):
+        assert BottomNode().probability(figure3_world_table) == 0.0
+
+    def test_leaf_wsset_is_universal(self):
+        assert LEAF.to_wsset() == WSSet.universal()
+
+    def test_bottom_wsset_is_empty(self):
+        assert BOTTOM.to_wsset().is_empty
+
+    def test_counts_and_depth(self):
+        assert LEAF.node_count() == 1
+        assert LEAF.depth() == 0
+        assert BOTTOM.variables() == frozenset()
+
+
+class TestFigure3Tree:
+    def test_probability_matches_example_47(self, figure3_world_table):
+        assert figure3_tree().probability(figure3_world_table) == pytest.approx(0.7578)
+
+    def test_to_wsset_matches_figure3(self, figure3_wsset):
+        assert figure3_tree().to_wsset() == figure3_wsset
+
+    def test_validate_passes(self, figure3_world_table):
+        figure3_tree().validate(figure3_world_table)
+
+    def test_variables(self):
+        assert figure3_tree().variables() == frozenset({"x", "y", "z", "u", "v"})
+
+    def test_node_count_and_depth(self):
+        tree = figure3_tree()
+        assert tree.node_count() == 12
+        assert tree.depth() == 4
+
+    def test_pretty_mentions_every_variable(self):
+        rendering = figure3_tree().pretty()
+        for variable in ("x", "y", "z", "u", "v"):
+            assert repr(variable) in rendering
+
+
+class TestStructuralConstraints:
+    def test_otimes_needs_two_children(self):
+        with pytest.raises(WSTreeError):
+            IndependentNode((LEAF,))
+
+    def test_oplus_needs_branches(self):
+        with pytest.raises(WSTreeError):
+            VariableNode("x", ())
+
+    def test_oplus_rejects_duplicate_values(self):
+        with pytest.raises(WSTreeError):
+            VariableNode("x", ((1, LEAF), (1, LEAF)))
+
+    def test_validate_rejects_repeated_variable_on_path(self, figure3_world_table):
+        inner = VariableNode("x", ((1, LEAF),))
+        tree = VariableNode("x", ((2, inner),))
+        with pytest.raises(WSTreeError):
+            tree.validate(figure3_world_table)
+
+    def test_validate_rejects_shared_variables_under_otimes(self, figure3_world_table):
+        tree = IndependentNode(
+            (
+                VariableNode("x", ((1, LEAF),)),
+                VariableNode("x", ((2, LEAF),)),
+            )
+        )
+        with pytest.raises(WSTreeError):
+            tree.validate(figure3_world_table)
+
+    def test_validate_rejects_values_outside_domain(self, figure3_world_table):
+        tree = VariableNode("x", ((99, LEAF),))
+        with pytest.raises(WSTreeError):
+            tree.validate(figure3_world_table)
+
+    def test_validate_without_world_table_skips_domain_check(self):
+        VariableNode("x", ((99, LEAF),)).validate()
+
+
+class TestProbabilityEquations:
+    """The equations of Figure 7 on tiny hand-built trees."""
+
+    def test_oplus_weights_branches(self, figure3_world_table):
+        tree = VariableNode("u", ((1, LEAF), (2, BOTTOM)))
+        assert tree.probability(figure3_world_table) == pytest.approx(0.7)
+
+    def test_oplus_missing_branch_contributes_zero(self, figure3_world_table):
+        tree = VariableNode("x", ((1, LEAF),))
+        assert tree.probability(figure3_world_table) == pytest.approx(0.1)
+
+    def test_otimes_inclusion_exclusion(self, figure3_world_table):
+        tree = IndependentNode(
+            (
+                VariableNode("u", ((1, LEAF),)),
+                VariableNode("v", ((1, LEAF),)),
+            )
+        )
+        expected = 1 - (1 - 0.7) * (1 - 0.5)
+        assert tree.probability(figure3_world_table) == pytest.approx(expected)
+
+    def test_nested_tree_semantics_match_its_wsset(self, figure3_world_table):
+        from repro.core.bruteforce import brute_force_probability
+
+        tree = figure3_tree()
+        assert tree.probability(figure3_world_table) == pytest.approx(
+            brute_force_probability(tree.to_wsset(), figure3_world_table)
+        )

@@ -1,0 +1,194 @@
+"""Tests for the SQL front end: lexer, parser, planner and executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError, SQLSyntaxError
+from repro.sql import execute, parse, tokenize
+from repro.sql.ast_nodes import (
+    AssertStatement,
+    Between,
+    BooleanExpression,
+    ColumnRef,
+    Comparison,
+    ConfCall,
+    SelectStatement,
+    Star,
+)
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("select SSN from R")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+        ]
+        assert tokens[0].value == "SELECT"
+
+    def test_strings_numbers_and_symbols(self):
+        tokens = tokenize("where a >= 0.05 and b = 'x''y'")
+        values = [t.value for t in tokens[:-1]]
+        assert 0.05 in values
+        assert "x'y" in values
+        assert ">=" in values
+
+    def test_negative_numbers_in_value_position(self):
+        tokens = tokenize("where a = -3")
+        assert -3 in [t.value for t in tokens]
+
+    def test_not_equal_variants(self):
+        assert "!=" in [t.value for t in tokenize("a != b")]
+        assert "!=" in [t.value for t in tokenize("a <> b")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select #")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse("select SSN, NAME from R").statement
+        assert isinstance(statement, SelectStatement)
+        assert len(statement.columns) == 2
+        assert statement.tables[0].name == "R"
+
+    def test_star(self):
+        statement = parse("select * from R").statement
+        assert isinstance(statement.columns, Star)
+
+    def test_conf_call_with_and_without_arguments(self):
+        statement = parse("select SSN, conf(SSN) from R where NAME = 'Bill'").statement
+        conf_calls = statement.conf_columns()
+        assert len(conf_calls) == 1
+        assert conf_calls[0].arguments[0] == ColumnRef("SSN")
+        bare = parse("select conf() P2 from B").statement
+        assert isinstance(bare.columns[0].expression, ConfCall)
+        assert bare.columns[0].alias == "P2"
+
+    def test_boolean_query(self):
+        statement = parse("select true from R where SSN = 7").statement
+        assert statement.is_boolean
+
+    def test_aliases_and_qualified_columns(self):
+        statement = parse(
+            "select c.custkey from customer c, orders o where c.custkey = o.custkey"
+        ).statement
+        assert statement.tables[0].binding == "c"
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.left == ColumnRef("custkey", "c")
+
+    def test_between_and_boolean_operators(self):
+        statement = parse(
+            "select true from lineitem where shipdate between '1994-01-01' and '1996-01-01' "
+            "and discount between 0.05 and 0.08 and quantity < 24"
+        ).statement
+        condition = statement.where
+        assert isinstance(condition, BooleanExpression)
+        assert condition.operator == "and"
+        assert any(isinstance(operand, Between) for operand in condition.operands)
+
+    def test_or_not_and_parentheses(self):
+        statement = parse(
+            "select true from R where not (SSN = 1 or SSN = 4)"
+        ).statement
+        assert isinstance(statement.where, BooleanExpression)
+        assert statement.where.operator == "not"
+
+    def test_assert_statement(self):
+        statement = parse("assert select true from R where SSN = 7").statement
+        assert isinstance(statement, AssertStatement)
+
+    def test_syntax_errors(self):
+        for bad in (
+            "select from R",
+            "select * R",
+            "select * from",
+            "select * from R where",
+            "select * from R where SSN",
+            "select * from R where SSN = 1 trailing garbage ,",
+        ):
+            with pytest.raises(SQLSyntaxError):
+                parse(bad)
+
+    def test_table_alias_without_as_keyword(self):
+        statement = parse("select * from R extra").statement
+        assert statement.tables[0].binding == "extra"
+
+
+class TestExecutor:
+    def test_confidence_query_from_the_introduction(self, ssn_database):
+        result = execute(
+            ssn_database, "select SSN, conf(SSN) from R where NAME = 'Bill'"
+        )
+        assert result.kind == "confidence"
+        rows = {row[0]: row[-1] for row in result.rows}
+        assert rows[4] == pytest.approx(0.3)
+        assert rows[7] == pytest.approx(0.7)
+        assert result.columns[-1] == "conf"
+
+    def test_plain_selection_returns_relation(self, ssn_database):
+        result = execute(ssn_database, "select SSN from R where NAME = 'John'")
+        assert result.kind == "relation"
+        assert sorted(row[0] for row in result.rows) == [1, 7]
+        assert result.as_dicts()[0].keys() == {"SSN"}
+
+    def test_star_projection(self, ssn_database):
+        result = execute(ssn_database, "select * from R")
+        assert result.kind == "relation"
+        assert len(result.rows) == 4
+
+    def test_boolean_query_confidence(self, ssn_database):
+        result = execute(ssn_database, "select true from R where SSN = 7")
+        assert result.kind == "boolean"
+        # P(John has 7 or Bill has 7) = 1 - P(j=1)P(b=4) = 1 - 0.06
+        assert result.confidence == pytest.approx(0.94)
+
+    def test_self_join_with_aliases(self, ssn_database):
+        result = execute(
+            ssn_database,
+            "select true from R r1, R r2 "
+            "where r1.SSN = r2.SSN and r1.NAME != r2.NAME",
+        )
+        assert result.confidence == pytest.approx(0.56)
+
+    def test_assert_conditions_the_database(self, ssn_database):
+        # assert[SSN -> NAME] expressed as "no two different names share an SSN"
+        # via the complement query is awkward in SQL; assert the positive form
+        # used in the introduction: Bill's SSN is 4 or John's SSN is 1.
+        result = execute(
+            ssn_database,
+            "assert select true from R r1, R r2 "
+            "where r1.NAME = 'John' and r2.NAME = 'Bill' and r1.SSN != r2.SSN",
+        )
+        assert result.kind == "assert"
+        assert result.confidence == pytest.approx(0.44)
+        posterior = execute(
+            ssn_database, "select SSN, conf(SSN) from R where NAME = 'Bill'"
+        )
+        rows = {row[0]: row[-1] for row in posterior.rows}
+        assert rows[4] == pytest.approx(0.3 / 0.44)
+
+    def test_unknown_column_and_ambiguity_errors(self, ssn_database):
+        with pytest.raises(QueryError):
+            execute(ssn_database, "select AGE from R")
+        with pytest.raises(QueryError):
+            execute(ssn_database, "select SSN from R r1, R r2")
+
+    def test_duplicate_binding_rejected(self, ssn_database):
+        with pytest.raises(QueryError):
+            execute(ssn_database, "select true from R r1, R r1")
+
+    def test_where_false_and_true_literals(self, ssn_database):
+        empty = execute(ssn_database, "select SSN from R where false")
+        assert empty.rows == []
+        everything = execute(ssn_database, "select SSN from R where true")
+        assert len(everything.rows) == 4

@@ -1,0 +1,101 @@
+"""Smoke tests: every example script runs end to end and prints sensible output.
+
+The examples double as integration tests of the public API — quickstart and
+data_cleaning contain their own assertions about the paper's numbers; here we
+additionally check key figures appear in what they print.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main()``."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "data_cleaning.py",
+        "sensor_monitoring.py",
+        "tpch_confidence.py",
+        "hard_instances.py",
+    } <= names
+
+
+def test_quickstart_reproduces_paper_numbers(capsys):
+    module = load_example("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "0.44" in output
+    assert "0.6818" in output
+    assert "probability 1" in output
+
+
+def test_quickstart_builder_matches_figure1():
+    module = load_example("quickstart")
+    db = module.build_database()
+    assert db.world_count() == 4
+    db_fred = module.build_database(with_fred=True)
+    assert db_fred.world_count() == 8
+
+
+def test_data_cleaning_runs_and_normalises(capsys):
+    module = load_example("data_cleaning")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Posterior after both pieces of evidence" in output
+    assert "asserted email -> city" in output
+
+
+def test_sensor_monitoring_posterior_shifts(capsys):
+    module = load_example("sensor_monitoring")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Prior fire risk per room" in output
+    assert "Posterior fire risk per room" in output
+
+
+def test_sensor_monitoring_fire_risk_bounds():
+    module = load_example("sensor_monitoring")
+    db = module.build_database()
+    for room in ("A", "B", "C"):
+        assert 0.0 <= module.fire_risk(db, room) <= 1.0
+
+
+@pytest.mark.parametrize("scale", ["0.0002"])
+def test_tpch_confidence_example(monkeypatch, capsys, scale):
+    module = load_example("tpch_confidence")
+    monkeypatch.setattr(sys, "argv", ["tpch_confidence.py", scale])
+    module.main()
+    output = capsys.readouterr().out
+    assert "exact confidence" in output
+    assert "Karp-Luby" in output
+    assert "via SQL front end" in output
+
+
+def test_hard_instances_example(capsys):
+    module = load_example("hard_instances")
+    # Shrink the cases so the example stays fast inside the test suite.
+    from repro.workloads.hard import HardCaseParameters
+
+    module.main.__globals__["TIME_LIMIT"] = 5.0
+    rows = module.explore(
+        HardCaseParameters(num_variables=12, alternatives=2,
+                           descriptor_length=2, num_descriptors=10, seed=0)
+    )
+    assert {row[1] for row in rows} == {"indve(minlog)", "ve(minlog)", "we", "kl(e=0.1)"}

@@ -1,0 +1,141 @@
+"""Tests for the workload generators (TPC-H-like, #P-hard, random instances)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.probability import probability
+from repro.workloads.hard import (
+    HardCaseParameters,
+    generate_hard_instance,
+    generate_hard_wsset,
+    sweep_wsset_sizes,
+)
+from repro.workloads.random_instances import (
+    random_attribute_level_database,
+    random_tuple_independent_database,
+    random_world_table,
+    random_wsset,
+)
+from repro.workloads.tpch import TPCHGenerator, query_q1, query_q2
+
+
+@pytest.fixture(scope="module")
+def tpch_instance():
+    return TPCHGenerator(scale_factor=0.0002, seed=7).generate()
+
+
+class TestTPCH:
+    def test_cardinality_ratios(self, tpch_instance):
+        assert tpch_instance.customer_count == round(150_000 * 0.0002)
+        assert tpch_instance.orders_count == round(1_500_000 * 0.0002)
+        assert tpch_instance.lineitem_count >= tpch_instance.orders_count
+
+    def test_one_boolean_variable_per_tuple(self, tpch_instance):
+        database = tpch_instance.database
+        total_rows = sum(len(database.relation(name)) for name in database.relation_names)
+        assert tpch_instance.variable_count == total_rows
+        assert tpch_instance.relation_variable_count("lineitem") == tpch_instance.lineitem_count
+
+    def test_generation_is_deterministic(self):
+        a = TPCHGenerator(scale_factor=0.0002, seed=7).generate()
+        b = TPCHGenerator(scale_factor=0.0002, seed=7).generate()
+        assert a.database.relation("customer").rows == b.database.relation("customer").rows
+
+    def test_q1_descriptors_have_length_three(self, tpch_instance):
+        answer = query_q1(tpch_instance.database)
+        assert all(len(descriptor) == 3 for descriptor in answer)
+
+    def test_q2_descriptors_have_length_one_and_are_independent(self, tpch_instance):
+        answer = query_q2(tpch_instance.database)
+        assert all(len(descriptor) == 1 for descriptor in answer)
+        variables = [next(iter(descriptor)) for descriptor in answer]
+        assert len(variables) == len(set(variables))
+
+    def test_query_confidences_are_valid_probabilities(self, tpch_instance):
+        database = tpch_instance.database
+        for answer in (query_q1(database), query_q2(database)):
+            value = probability(answer, database.world_table)
+            assert 0.0 <= value <= 1.0
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            TPCHGenerator(scale_factor=0.0)
+
+
+class TestHardCases:
+    def test_parameters_validation(self):
+        with pytest.raises(ValueError):
+            HardCaseParameters(num_variables=2, descriptor_length=4)
+        with pytest.raises(ValueError):
+            HardCaseParameters(num_variables=10, alternatives=1)
+        with pytest.raises(ValueError):
+            HardCaseParameters(num_variables=10, num_descriptors=0)
+
+    def test_instance_shape(self):
+        parameters = HardCaseParameters(
+            num_variables=12, alternatives=3, descriptor_length=4, num_descriptors=20, seed=5
+        )
+        instance = generate_hard_instance(parameters)
+        assert instance.variable_count == 12
+        assert instance.wsset_size == 20
+        for descriptor in instance.ws_set:
+            assert len(descriptor) == 4
+        for variable in instance.world_table.variables:
+            assert instance.world_table.domain_size(variable) == 3
+
+    def test_descriptors_pick_one_variable_per_group(self):
+        parameters = HardCaseParameters(
+            num_variables=8, alternatives=2, descriptor_length=2, num_descriptors=10, seed=1
+        )
+        _, ws_set = generate_hard_wsset(parameters)
+        groups = [{f"x{i}" for i in range(0, 8, 2)}, {f"x{i}" for i in range(1, 8, 2)}]
+        for descriptor in ws_set:
+            variables = set(descriptor.variables)
+            assert len(variables & groups[0]) == 1
+            assert len(variables & groups[1]) == 1
+
+    def test_generation_is_deterministic(self):
+        parameters = HardCaseParameters(10, 2, 2, 15, seed=3)
+        assert generate_hard_wsset(parameters)[1] == generate_hard_wsset(parameters)[1]
+
+    def test_impossible_distinct_count_raises(self):
+        with pytest.raises(ValueError):
+            generate_hard_instance(
+                HardCaseParameters(num_variables=2, alternatives=2,
+                                   descriptor_length=2, num_descriptors=100)
+            )
+
+    def test_sweep_sizes(self):
+        base = HardCaseParameters(10, 2, 2, 5, seed=0)
+        instances = sweep_wsset_sizes(base, [5, 10, 15])
+        assert [instance.wsset_size for instance in instances] == [5, 10, 15]
+        assert instances[0].parameters.seed != instances[1].parameters.seed
+
+
+class TestRandomInstances:
+    def test_random_world_table(self, rng):
+        table = random_world_table(rng, num_variables=6, max_domain_size=4)
+        assert len(table) == 6
+        table.validate()
+
+    def test_random_wsset_respects_domains(self, rng):
+        table = random_world_table(rng, num_variables=4, max_domain_size=3)
+        ws_set = random_wsset(rng, table, num_descriptors=6, max_length=3)
+        for descriptor in ws_set:
+            for variable, value in descriptor.items():
+                assert value in table.domain(variable)
+
+    def test_random_tuple_independent_database(self, rng):
+        database = random_tuple_independent_database(rng, num_tuples=5)
+        assert len(database.relation("R")) == 5
+        assert len(database.world_table) == 5
+        assert sum(database.instance_distribution().values()) == pytest.approx(1.0)
+
+    def test_random_attribute_level_database(self):
+        database = random_attribute_level_database(random.Random(3), num_entities=3)
+        assert sum(database.instance_distribution().values()) == pytest.approx(1.0)
+        # one variable per entity
+        assert len(database.world_table) == 3
