@@ -1,0 +1,147 @@
+"""Engine hot path: legacy dict engine vs interned integer-packed engine.
+
+Measures the exact confidence computation on Figure 11a-style #P-hard
+instances (the scaled-down setting of ``bench_figure11a.py``: 16 variables,
+r=2, s=4, ws-set sizes 32-256) for four engine configurations:
+
+* ``legacy``            — the original recursive plain-dict engine;
+* ``legacy+memo``       — the same with frozenset-keyed memoisation;
+* ``interned``          — the integer-packed iterative engine (defaults:
+                          memoisation on);
+* ``interned-no-memo``  — the interned engine with memoisation disabled
+                          (isolates the representation gain from the
+                          component-caching gain).
+
+Run directly to print the table and record ``BENCH_engine_hotpath.json``
+(including per-size and overall legacy/interned speedups) at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py
+
+The same measurement is also exposed as pytest-benchmark cases
+(``bench_engine``) for the benchmark runner used by the other figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_sweep_result, write_sweep_json
+from repro.bench.runner import SweepResult, run_sweep
+from repro.core.probability import ExactConfig, probability
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+
+SIZES = (32, 64, 128, 256)
+TIME_LIMIT = 120.0
+REPEATS = 5
+REPORT_NAME = "BENCH_engine_hotpath.json"
+
+CONFIGURATIONS = {
+    "legacy": ExactConfig(engine="legacy", time_limit=TIME_LIMIT),
+    "legacy+memo": ExactConfig(engine="legacy", memoize=True, time_limit=TIME_LIMIT),
+    "interned": ExactConfig(engine="interned", time_limit=TIME_LIMIT),
+    "interned-no-memo": ExactConfig(
+        engine="interned", memoize=False, time_limit=TIME_LIMIT
+    ),
+}
+
+
+def _parameters(size: int) -> HardCaseParameters:
+    return HardCaseParameters(
+        num_variables=16, alternatives=2, descriptor_length=4,
+        num_descriptors=size, seed=0,
+    )
+
+
+def _instances(sizes=SIZES):
+    instances = []
+    for size in sizes:
+        instance = generate_hard_instance(_parameters(size))
+        instances.append((size, instance.ws_set, instance.world_table))
+    return instances
+
+
+def run_hotpath_sweep(sizes=SIZES, repeats=REPEATS) -> SweepResult:
+    """Run all engine configurations over the Figure 11a-style instances."""
+    methods = {
+        name: (lambda ws_set, world_table, config=config: probability(
+            ws_set, world_table, config
+        ))
+        for name, config in CONFIGURATIONS.items()
+    }
+    return run_sweep(
+        "Engine hot path (Figure 11a workload: n=16, r=2, s=4)",
+        "ws-set size",
+        _instances(sizes),
+        methods,
+        repeats=repeats,
+        time_limit=TIME_LIMIT,
+    )
+
+
+def speedup_summary(result: SweepResult) -> dict:
+    """Per-size and overall ``legacy seconds / interned seconds`` ratios."""
+    legacy = {p.x: p.seconds for p in result.series_by_method("legacy").points}
+    interned = {p.x: p.seconds for p in result.series_by_method("interned").points}
+    per_size = {
+        f"{x:g}": round(legacy[x] / interned[x], 3)
+        for x in sorted(legacy)
+        if interned.get(x)
+    }
+    total_legacy = sum(legacy.values())
+    total_interned = sum(interned.values())
+    return {
+        "per_size": per_size,
+        "overall": round(total_legacy / total_interned, 3),
+        "legacy_total_seconds": round(total_legacy, 6),
+        "interned_total_seconds": round(total_interned, 6),
+    }
+
+
+def main(report_path: "str | Path | None" = None) -> Path:
+    result = run_hotpath_sweep()
+    summary = speedup_summary(result)
+    if report_path is None:
+        report_path = Path(__file__).resolve().parent.parent / REPORT_NAME
+    path = write_sweep_json(
+        result,
+        report_path,
+        extra={
+            "workload": {
+                "figure": "11a",
+                "num_variables": 16,
+                "alternatives": 2,
+                "descriptor_length": 4,
+                "sizes": list(SIZES),
+                "repeats": REPEATS,
+            },
+            "speedup": summary,
+        },
+    )
+    print(format_sweep_result(result))
+    print(
+        f"interned-vs-legacy speedup: overall {summary['overall']}x, "
+        f"per size {summary['per_size']}"
+    )
+    print(f"wrote {path}")
+    return path
+
+
+@pytest.mark.figure("engine-hotpath")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", sorted(CONFIGURATIONS))
+def bench_engine(benchmark, hard_instance_cache, size, engine):
+    instance = hard_instance_cache(_parameters(size))
+    config = CONFIGURATIONS[engine]
+    value = benchmark.pedantic(
+        lambda: probability(instance.ws_set, instance.world_table, config),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["confidence"] = value
+    assert 0.0 <= value <= 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ benchmark scripts print.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.bench.runner import SweepResult
 
@@ -90,6 +92,53 @@ def summarize_shape(result: SweepResult) -> str:
                 f"({best_seconds:.4g}s)"
             )
     return "; ".join(lines)
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """A JSON-serialisable dictionary for a :class:`SweepResult`.
+
+    The shape mirrors the dataclasses: ``series[*].points[*]`` with ``x``,
+    ``seconds``, ``value``, ``repeats`` and ``timed_out`` per measurement.
+    """
+    return {
+        "title": result.title,
+        "x_label": result.x_label,
+        "series": [
+            {
+                "method": series.method,
+                "points": [
+                    {
+                        "x": point.x,
+                        "seconds": point.seconds,
+                        "value": point.value,
+                        "repeats": point.repeats,
+                        "timed_out": point.timed_out,
+                        **({"extra": point.extra} if point.extra else {}),
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in result.series
+        ],
+        "notes": list(result.notes),
+    }
+
+
+def write_sweep_json(
+    result: SweepResult, path: "str | Path", *, extra: dict | None = None
+) -> Path:
+    """Write a sweep (plus optional extra top-level keys) as a JSON report.
+
+    Used by the benchmark scripts to persist machine-readable results (e.g.
+    ``BENCH_engine_hotpath.json``) next to the human-readable tables.
+    Returns the path written.
+    """
+    payload = sweep_to_dict(result)
+    if extra:
+        payload.update(extra)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def _render(cell: object) -> str:

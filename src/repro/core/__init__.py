@@ -27,7 +27,8 @@ from repro.core.heuristics import (
     make_heuristic,
 )
 from repro.core.decompose import compute_tree, DecompositionStats
-from repro.core.probability import ExactConfig, probability, confidence
+from repro.core.interned import InternedEngine, InternedSpace
+from repro.core.probability import ExactConfig, make_engine, probability, confidence
 from repro.core.elimination import descriptor_elimination_probability
 from repro.core.conditioning import condition_wsset, ConditioningResult
 from repro.core.bruteforce import (
@@ -54,7 +55,10 @@ __all__ = [
     "make_heuristic",
     "compute_tree",
     "DecompositionStats",
+    "InternedEngine",
+    "InternedSpace",
     "ExactConfig",
+    "make_engine",
     "probability",
     "confidence",
     "descriptor_elimination_probability",

@@ -64,7 +64,7 @@ from repro.core.decompose import (
 )
 from repro.core.descriptors import WSDescriptor, as_descriptor
 from repro.core.heuristics import count_occurrences, make_heuristic
-from repro.core.probability import ExactConfig, probability_of_descriptors
+from repro.core.probability import ExactConfig, make_engine
 from repro.core.wsset import WSSet
 from repro.errors import ConditioningError, ZeroProbabilityConditionError
 
@@ -246,6 +246,13 @@ class _ConditioningEngine:
         self.prune_unrelated = prune_unrelated
         self.drop_singleton_new_variables = drop_singleton_new_variables
         self.literal_independence_rule = literal_independence_rule
+        # One probability engine shared across every delegated confidence-only
+        # subproblem of this conditioning run: the budget covers the whole run
+        # and the engine's memo cache persists across the delegated calls
+        # (many branches leave identical residual condition ws-sets).
+        self.confidence_engine = make_engine(
+            world_table, config, budget=self.budget, record_elimination_order=False
+        )
         # new variable -> {value: unnormalised weight}; normalised at the end.
         self._new_variables: dict = {}
         self.variable_sources: dict = {}
@@ -290,10 +297,8 @@ class _ConditioningEngine:
             ]
             if not related:
                 # Nothing left to rewrite below this point: only the branch
-                # confidence matters, so delegate to the fast exact engine.
-                confidence = probability_of_descriptors(
-                    descriptors, self.world_table, self.config, budget=self.budget
-                )
+                # confidence matters, so delegate to the shared exact engine.
+                confidence = self.confidence_engine.compute(descriptors)
                 return confidence, unrelated
             confidence, rewritten = self._cond_eliminate(descriptors, related, depth)
             if confidence == 0.0:

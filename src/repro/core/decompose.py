@@ -75,6 +75,10 @@ class DecompositionStats:
     variable_nodes: int = 0
     leaf_nodes: int = 0
     bottom_nodes: int = 0
+    #: Small sub-ws-sets (up to the interned engine's closed-form limit,
+    #: see ``repro.core.interned._CLOSED_FORM_LIMIT``) resolved by the
+    #: inclusion-exclusion closed form instead of a decomposition subtree.
+    closed_form_nodes: int = 0
     max_depth: int = 0
     eliminated_variables: list = field(default_factory=list)
 
@@ -105,14 +109,23 @@ class Budget:
         self._started = time.monotonic()
 
     def tick(self) -> None:
-        """Record one recursive call and enforce the limits."""
+        """Record one recursive call and enforce the limits.
+
+        The call-count limit is exact.  The wall-clock check runs on the very
+        first call and every 256th call thereafter; when no ``max_calls`` cap
+        is set the clock is the *only* guard, so it is then checked on every
+        call rather than letting a slow expansion overshoot by up to 255
+        calls.
+        """
         self._calls += 1
         if self.max_calls is not None and self._calls > self.max_calls:
             raise BudgetExceededError(
                 f"decomposition exceeded {self.max_calls} recursive calls",
                 nodes=self._calls,
             )
-        if self.time_limit is not None and self._calls % 256 == 0:
+        if self.time_limit is not None and (
+            self.max_calls is None or self._calls == 1 or self._calls % 256 == 0
+        ):
             elapsed = time.monotonic() - self._started
             if elapsed > self.time_limit:
                 raise BudgetExceededError(
@@ -134,22 +147,45 @@ def to_internal(ws_set: WSSet) -> list[Descriptor]:
     return [dict(descriptor.items()) for descriptor in ws_set]
 
 
+def kept_after_subsumption(items: list[set]) -> list[int]:
+    """Indices of the items surviving subsumption removal, in input order.
+
+    An item is *subsumed* when another item is a subset of it — a strict
+    subset, or an equal set occurring earlier in the input (so among exact
+    duplicates the first occurrence wins).  Items are processed in ascending
+    size (ties broken by input position) and candidates are only tested
+    against the already-kept, smaller-or-equal items; testing against removed
+    items is unnecessary because subsumption is transitive.
+    """
+    order = sorted(range(len(items)), key=lambda index: (len(items[index]), index))
+    kept: list[int] = []
+    kept_sets: list[set] = []
+    for index in order:
+        candidate = items[index]
+        for smaller in kept_sets:
+            if smaller <= candidate:
+                break
+        else:
+            kept.append(index)
+            kept_sets.append(candidate)
+    kept.sort()
+    return kept
+
+
 def remove_subsumed(descriptors: list[Descriptor]) -> list[Descriptor]:
     """Drop descriptors that extend (are contained in) another descriptor.
 
-    Quadratic, so only applied where configured; exposing containment helps
-    the independence check (Example 3.2 of the paper).
+    Exposing containment helps the independence check (Example 3.2 of the
+    paper).  Candidates are tested only against strictly-smaller-or-equal
+    surviving descriptors (a size-sorted pass); among duplicates the first
+    occurrence wins, and the output preserves the input order.
     """
-    items = [set(d.items()) for d in descriptors]
-    kept: list[Descriptor] = []
-    for i, candidate in enumerate(items):
-        subsumed = any(
-            i != j and other <= candidate and (other < candidate or j < i)
-            for j, other in enumerate(items)
-        )
-        if not subsumed:
-            kept.append(descriptors[i])
-    return kept
+    if len(descriptors) <= 1:
+        return list(descriptors)
+    kept = kept_after_subsumption([set(d.items()) for d in descriptors])
+    if len(kept) == len(descriptors):
+        return list(descriptors)
+    return [descriptors[index] for index in kept]
 
 
 def deduplicate(descriptors: list[Descriptor]) -> list[Descriptor]:

@@ -73,15 +73,24 @@ class Heuristic:
         descriptor_count: int,
         world_table: "WorldTable",
     ) -> Variable:
-        """Pick the variable with the smallest estimate (ties: first seen)."""
+        """Pick the variable with the smallest estimate (ties: first seen).
+
+        ``world_table`` may be any *domain-size provider* — an object with a
+        ``domain_size(variable)`` method for the variables keyed in
+        ``occurrences``.  The legacy engine passes the
+        :class:`~repro.db.world_table.WorldTable` itself (variables are their
+        original names); the interned engine passes its
+        :class:`~repro.core.interned.InternedSpace` (variables are dense
+        integer ids).  Heuristics therefore must not assume anything about the
+        variable objects beyond hashability.
+        """
         best_variable = None
         best_score = math.inf
+        estimate = self.estimate
+        domain_size = world_table.domain_size
         for variable, value_counts in occurrences.items():
-            mentioned = sum(value_counts.values())
-            t_size = descriptor_count - mentioned
-            score = self.estimate(
-                variable, value_counts, t_size, world_table.domain_size(variable)
-            )
+            t_size = descriptor_count - sum(value_counts.values())
+            score = estimate(variable, value_counts, t_size, domain_size(variable))
             if score < best_score:
                 best_score = score
                 best_variable = variable
@@ -102,6 +111,7 @@ class MinLogHeuristic(Heuristic):
         if base <= 1.0:
             raise ValueError("the cost-estimate base must be greater than one")
         self.base = base
+        self._inverse_log_base = 1.0 / math.log(base)
 
     def estimate(
         self,
@@ -112,21 +122,22 @@ class MinLogHeuristic(Heuristic):
     ) -> float:
         base = self.base
         log = math.log
-        # Branch sizes s_i = |S_{x->i} ∪ T| for the values that occur in S.
-        sizes = [count + t_size for count in value_counts.values() if count > 0]
-        missing_assignment = len(value_counts) < domain_size or any(
-            count == 0 for count in value_counts.values()
-        )
+        inverse_log_base = self._inverse_log_base
+        counts = value_counts.values()
+        missing_assignment = len(value_counts) < domain_size or 0 in counts
         estimate = float(t_size) if missing_assignment else 0.0
-        for size in sizes:
+        # Branch sizes s_i = |S_{x->i} ∪ T| for the values that occur in S.
+        for count in counts:
+            if count <= 0:
+                continue
             # e := e + log_base(1 + base^(size - e)), i.e. log-sum-exp accumulation.
-            exponent = size - estimate
+            exponent = count + t_size - estimate
             if exponent > 60:
                 # base**exponent would overflow long before this point matters;
                 # log_base(1 + base**exponent) ≈ exponent for large exponents.
                 estimate += exponent
             else:
-                estimate += log(1.0 + base**exponent) / log(base)
+                estimate += log(1.0 + base**exponent) * inverse_log_base
         return estimate
 
 

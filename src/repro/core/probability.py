@@ -16,8 +16,19 @@ Two algorithm variants of the experimental section are obtained through
 * **VE** — variable elimination only.
 
 plus the heuristic choice (``minlog`` / ``minmax`` / ablation heuristics) and
-two optional engineering knobs evaluated in the ablation benchmarks:
-subsumption simplification and memoisation of repeated sub-ws-sets.
+the engineering knobs evaluated in the ablation benchmarks: subsumption
+simplification, memoisation of repeated sub-ws-sets, and the choice of engine.
+
+Two engine implementations compute the same function:
+
+* ``engine="interned"`` (the default) — the integer-packed iterative engine of
+  :mod:`repro.core.interned`: variables and values are interned into dense
+  ids, descriptors become sorted tuples of packed ints, the recursion runs on
+  an explicit stack, and sub-ws-set memoisation (component caching) is on by
+  default because canonical keys are cheap.
+* ``engine="legacy"`` — the original recursive engine over plain string-keyed
+  dicts, kept as an ablation baseline and exercised by the ablation
+  benchmarks.
 """
 
 from __future__ import annotations
@@ -36,10 +47,14 @@ from repro.core.decompose import (
     to_internal,
 )
 from repro.core.heuristics import Heuristic, count_occurrences, make_heuristic
+from repro.core.interned import InternedEngine
 from repro.core.wsset import WSSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import WorldTable
+
+#: Names accepted by :attr:`ExactConfig.engine`.
+ENGINES = ("interned", "legacy")
 
 
 @dataclass(frozen=True)
@@ -59,20 +74,28 @@ class ExactConfig:
         Additionally remove subsumed descriptors at every recursive call;
         costlier but can expose more independence. Ablation knob.
     memoize:
-        Cache results of repeated sub-ws-sets (keyed by the canonical frozen
-        form of the descriptors).  Not part of the paper's algorithm; an
-        ablation/extension knob in the spirit of BDD node sharing.
+        Cache results of repeated sub-ws-sets (component caching, in the
+        spirit of BDD node sharing / #SAT solvers).  ``None`` (the default)
+        means "engine default": on for the interned engine, whose canonical
+        keys are cheap O(size) tuple hashes, off for the legacy engine, whose
+        nested-frozenset keys rarely pay for themselves.  Set explicitly to
+        force either behaviour (the ablation knob).
     max_calls, time_limit:
         Optional budget limits forwarded to :class:`~repro.core.decompose.Budget`.
+    engine:
+        ``"interned"`` (default) for the integer-packed iterative engine of
+        :mod:`repro.core.interned`; ``"legacy"`` for the original recursive
+        plain-dict engine.
     """
 
     use_independent_partitioning: bool = True
     heuristic: "str | Heuristic" = "minlog"
     simplify_subsumed: bool = True
     subsumption_every_step: bool = False
-    memoize: bool = False
+    memoize: bool | None = None
     max_calls: int | None = None
     time_limit: float | None = None
+    engine: str = "interned"
 
     @classmethod
     def indve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":
@@ -87,6 +110,17 @@ class ExactConfig:
     def with_heuristic(self, heuristic: "str | Heuristic") -> "ExactConfig":
         """A copy of this configuration with a different heuristic."""
         return replace(self, heuristic=heuristic)
+
+    def with_engine(self, engine: str) -> "ExactConfig":
+        """A copy of this configuration with a different engine."""
+        return replace(self, engine=engine)
+
+    @property
+    def effective_memoize(self) -> bool:
+        """The resolved memoisation flag: explicit value, or the engine default."""
+        if self.memoize is None:
+            return self.engine == "interned"
+        return self.memoize
 
     @property
     def label(self) -> str:
@@ -103,6 +137,40 @@ class ProbabilityResult:
     probability: float
     stats: DecompositionStats = field(default_factory=DecompositionStats)
     cache_hits: int = 0
+
+
+def make_engine(
+    world_table: "WorldTable",
+    config: ExactConfig,
+    budget: "Budget | None" = None,
+    record_elimination_order: bool = True,
+):
+    """Instantiate the configured probability engine.
+
+    Both engines satisfy the same protocol: ``compute_wsset(ws_set)`` and
+    ``compute(descriptors)`` entry points (each applying deduplication and the
+    configured subsumption simplification), plus ``stats``, ``cache_hits`` and
+    a ``budget`` that may be shared across several computations.  Callers that
+    keep one engine alive across many computations should pass
+    ``record_elimination_order=False`` so the per-node elimination log does
+    not grow without bound.
+    """
+    if config.engine == "interned":
+        return InternedEngine(
+            world_table,
+            config,
+            budget=budget,
+            record_elimination_order=record_elimination_order,
+        )
+    if config.engine == "legacy":
+        return LegacyProbabilityEngine(
+            world_table,
+            config,
+            budget=budget,
+            record_elimination_order=record_elimination_order,
+        )
+    known = ", ".join(ENGINES)
+    raise ValueError(f"unknown engine {config.engine!r}; known engines: {known}")
 
 
 def probability(
@@ -139,12 +207,8 @@ def probability_with_stats(
 ) -> ProbabilityResult:
     """Like :func:`probability` but also returns decomposition statistics."""
     config = config or ExactConfig()
-    engine = _ProbabilityEngine(world_table, config)
-    descriptors = deduplicate(to_internal(ws_set))
-    if config.simplify_subsumed:
-        descriptors = remove_subsumed(descriptors)
-    with recursion_guard():
-        value = engine.run(descriptors)
+    engine = make_engine(world_table, config)
+    value = engine.compute_wsset(ws_set)
     return ProbabilityResult(value, engine.stats, engine.cache_hits)
 
 
@@ -166,38 +230,67 @@ def probability_of_descriptors(
 ) -> float:
     """Exact probability of a ws-set given in the engine's internal (plain-dict) form.
 
-    Used by the conditioning engine to delegate confidence-only subproblems
-    (subtrees below which no tuple descriptor needs rewriting) to the fast
-    INDVE engine without converting back and forth through :class:`WSSet`.
-    An external :class:`~repro.core.decompose.Budget` may be shared so that
-    time limits cover the whole conditioning run.
+    Used to delegate confidence-only subproblems (subtrees below which no
+    tuple descriptor needs rewriting) to the fast exact engine without
+    converting back and forth through :class:`WSSet`.  An external
+    :class:`~repro.core.decompose.Budget` may be shared so that time limits
+    cover a whole enclosing run.  Callers issuing *many* such subproblems over
+    one world table (e.g. the conditioning engine) should instead build one
+    engine with :func:`make_engine` and reuse it, so the memo cache is shared
+    across the calls.
     """
     config = config or ExactConfig()
-    engine = _ProbabilityEngine(world_table, config)
-    if budget is not None:
-        engine.budget = budget
-    cleaned = deduplicate(descriptors)
-    if config.simplify_subsumed:
-        cleaned = remove_subsumed(cleaned)
-    with recursion_guard():
-        return engine.run(cleaned)
+    engine = make_engine(world_table, config, budget=budget)
+    return engine.compute(descriptors)
 
 
-class _ProbabilityEngine:
-    """Fused ComputeTree ∘ P recursion over plain-dict descriptors."""
+class LegacyProbabilityEngine:
+    """Fused ComputeTree ∘ P recursion over plain-dict descriptors.
 
-    def __init__(self, world_table: "WorldTable", config: ExactConfig) -> None:
+    The original engine, kept as an ablation baseline for the interned engine
+    (:class:`repro.core.interned.InternedEngine`) and selected with
+    ``ExactConfig(engine="legacy")``.
+    """
+
+    def __init__(
+        self,
+        world_table: "WorldTable",
+        config: ExactConfig,
+        budget: "Budget | None" = None,
+        record_elimination_order: bool = True,
+    ) -> None:
         self.world_table = world_table
         self.config = config
         self.heuristic = make_heuristic(config.heuristic)
-        self.budget = Budget(config.max_calls, config.time_limit)
+        # Long-lived shared engines (conditioning's delegate) disable the
+        # per-node elimination log, which would otherwise grow without bound.
+        self.record_elimination_order = record_elimination_order
+        self.budget = budget if budget is not None else Budget(
+            config.max_calls, config.time_limit
+        )
         self.stats = DecompositionStats()
+        self.memoize = config.effective_memoize
         self.cache: dict = {}
         self.cache_hits = 0
 
-    def run(self, descriptors: list[dict]) -> float:
-        return self._probability(descriptors, depth=0)
+    # -- public entry points --------------------------------------------
+    def compute_wsset(self, ws_set: WSSet) -> float:
+        """Probability of a :class:`WSSet` (converts, simplifies, evaluates)."""
+        return self.compute(to_internal(ws_set))
 
+    def compute(self, descriptors: list[dict]) -> float:
+        """Probability of a ws-set given as plain-dict descriptors."""
+        descriptors = deduplicate(descriptors)
+        if self.config.simplify_subsumed:
+            descriptors = remove_subsumed(descriptors)
+        return self.run(descriptors)
+
+    def run(self, descriptors: list[dict]) -> float:
+        """Probability of an already-simplified ws-set."""
+        with recursion_guard():
+            return self._probability(descriptors, depth=0)
+
+    # -- recursion --------------------------------------------------------
     def _probability(self, descriptors: list[dict], depth: int) -> float:
         self.budget.tick()
         self.stats.recursive_calls += 1
@@ -214,7 +307,7 @@ class _ProbabilityEngine:
             descriptors = remove_subsumed(descriptors)
 
         cache_key = None
-        if self.config.memoize:
+        if self.memoize:
             cache_key = frozenset(frozenset(d.items()) for d in descriptors)
             cached = self.cache.get(cache_key)
             if cached is not None:
@@ -243,7 +336,8 @@ class _ProbabilityEngine:
         variable = self.heuristic.select_variable(
             occurrences, len(descriptors), self.world_table
         )
-        self.stats.eliminated_variables.append(variable)
+        if self.record_elimination_order:
+            self.stats.eliminated_variables.append(variable)
         self.stats.variable_nodes += 1
         by_value, unmentioned = split_on_variable(descriptors, variable)
 
@@ -266,3 +360,7 @@ class _ProbabilityEngine:
                 branch_probability = shared_t_probability
             total += weight * branch_probability
         return total
+
+
+#: Backwards-compatible alias of the pre-interning engine class name.
+_ProbabilityEngine = LegacyProbabilityEngine

@@ -57,7 +57,7 @@ class WorldTable:
     4
     """
 
-    __slots__ = ("_alternatives",)
+    __slots__ = ("_alternatives", "_version", "_interned")
 
     def __init__(
         self,
@@ -66,6 +66,8 @@ class WorldTable:
         validate: bool = True,
     ) -> None:
         self._alternatives: dict[Variable, dict[Value, float]] = {}
+        self._version = 0
+        self._interned = None
         if rows is not None:
             for variable, value, probability in rows:
                 self.add_alternative(variable, value, probability)
@@ -108,6 +110,7 @@ class WorldTable:
                 f"alternatives of variable {variable!r} sum to {total}, expected 1"
             )
         self._alternatives[variable] = {value: float(p) for value, p in items.items()}
+        self._version += 1
 
     def add_boolean(self, variable: Variable, probability: float) -> None:
         """Add a Boolean variable that is true with ``probability``.
@@ -137,12 +140,14 @@ class WorldTable:
                 f"duplicate alternative {variable!r} -> {value!r} in world table"
             )
         domain[value] = float(probability)
+        self._version += 1
 
     def remove_variable(self, variable: Variable) -> None:
         """Remove a variable and all its alternatives from the world table."""
         if variable not in self._alternatives:
             raise UnknownVariableError(variable)
         del self._alternatives[variable]
+        self._version += 1
 
     def validate(self) -> None:
         """Check every variable's alternatives sum to one (within tolerance)."""
@@ -152,6 +157,37 @@ class WorldTable:
                 raise InvalidDistributionError(
                     f"alternatives of variable {variable!r} sum to {total}, expected 1"
                 )
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped whenever variables or alternatives change.
+
+        Used to invalidate caches derived from the table, in particular the
+        interned integer-id space of :meth:`interned`.
+        """
+        return self._version
+
+    def interned(self):
+        """The dense integer interning of this table's variables and domains.
+
+        Returns a cached :class:`~repro.core.interned.InternedSpace` mapping
+        variables and domain values to dense ids, with the alternative
+        probabilities stored as dense arrays; the space is rebuilt lazily
+        after any mutation.  This is the compiled representation the default
+        exact confidence engine runs on.
+        """
+        # Imported here (not at module level) to keep repro.db importable on
+        # its own: repro.core modules import this module in turn.
+        from repro.core.interned import InternedSpace
+
+        space = self._interned
+        if space is None or space.version != self._version:
+            space = InternedSpace(self)
+            self._interned = space
+        return space
 
     # ------------------------------------------------------------------
     # Lookup

@@ -19,7 +19,14 @@ from repro.bench.figures import (
     figure12,
     figure13,
 )
-from repro.bench.reporting import format_sweep_result, format_table, summarize_shape, to_markdown
+from repro.bench.reporting import (
+    format_sweep_result,
+    format_table,
+    summarize_shape,
+    sweep_to_dict,
+    to_markdown,
+    write_sweep_json,
+)
 from repro.bench.runner import method_registry, run_sweep
 from repro.workloads.hard import HardCaseParameters, generate_hard_instance
 
@@ -72,6 +79,31 @@ class TestReporting:
     def test_markdown_table(self):
         text = to_markdown([("a", 1)], headers=("x", "y"))
         assert text.splitlines()[0] == "| x | y |"
+
+    def test_sweep_to_dict_and_json_report(self, tmp_path):
+        import json
+
+        instance = generate_hard_instance(HardCaseParameters(8, 2, 2, 5, seed=1))
+        methods = method_registry(include_exact=("indve(minlog)", "ve(minlog)"))
+        result = run_sweep(
+            "engines", "ws-set size",
+            [(5, instance.ws_set, instance.world_table)],
+            methods,
+        )
+        payload = sweep_to_dict(result)
+        assert payload["title"] == "engines"
+        assert {series["method"] for series in payload["series"]} == {
+            "indve(minlog)", "ve(minlog)",
+        }
+        point = payload["series"][0]["points"][0]
+        assert point["x"] == 5 and point["seconds"] >= 0 and not point["timed_out"]
+
+        path = write_sweep_json(
+            result, tmp_path / "report.json", extra={"speedup": {"overall": 1.0}}
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["title"] == "engines"
+        assert loaded["speedup"] == {"overall": 1.0}
 
     def test_format_sweep_result_and_summary(self):
         instance = generate_hard_instance(HardCaseParameters(8, 2, 2, 5, seed=1))

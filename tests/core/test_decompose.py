@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
@@ -86,6 +87,42 @@ class TestHelpers:
         descriptors = [{"x": 1}, {"x": 1}]
         assert remove_subsumed(descriptors) == [{"x": 1}]
 
+    def test_remove_subsumed_first_occurrence_wins_among_duplicates(self):
+        first = {"x": 1, "y": 2}
+        second = {"y": 2, "x": 1}  # equal as an assignment set
+        other = {"z": 1}
+        result = remove_subsumed([first, other, second])
+        assert result == [first, other]
+        assert result[0] is first  # identity: the *first* occurrence survives
+
+    def test_remove_subsumed_preserves_input_order(self):
+        descriptors = [{"z": 3}, {"x": 1, "y": 2}, {"x": 1}, {"w": 1, "z": 3}]
+        assert remove_subsumed(descriptors) == [{"z": 3}, {"x": 1}]
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_remove_subsumed_matches_quadratic_reference(self, seed):
+        """The size-sorted pass agrees with the original all-pairs definition."""
+
+        def reference(descriptors):
+            items = [set(d.items()) for d in descriptors]
+            kept = []
+            for i, candidate in enumerate(items):
+                subsumed = any(
+                    i != j and other <= candidate and (other < candidate or j < i)
+                    for j, other in enumerate(items)
+                )
+                if not subsumed:
+                    kept.append(descriptors[i])
+            return kept
+
+        rng = random.Random(3100 + seed)
+        variables = ["a", "b", "c", "d"]
+        descriptors = []
+        for _ in range(rng.randint(0, 10)):
+            chosen = rng.sample(variables, rng.randint(1, 3))
+            descriptors.append({v: rng.randint(0, 1) for v in chosen})
+        assert remove_subsumed(descriptors) == reference(descriptors)
+
     def test_connected_components(self):
         descriptors = [{"x": 1, "y": 2}, {"y": 1}, {"z": 3}, {"w": 1, "q": 2}]
         components = connected_components(descriptors)
@@ -114,6 +151,29 @@ class TestBudget:
             figure3_wsset, figure3_world_table, budget=Budget(max_calls=10_000)
         )
         assert tree.probability(figure3_world_table) == pytest.approx(0.7578)
+
+    def test_time_limit_checked_on_first_call(self):
+        """The wall clock is enforced from the very first tick, not call 256."""
+        budget = Budget(max_calls=100_000, time_limit=1e-9)
+        time.sleep(0.005)
+        with pytest.raises(BudgetExceededError):
+            budget.tick()
+
+    def test_time_limit_checked_every_call_without_max_calls(self):
+        budget = Budget(time_limit=0.2)
+        budget.tick()  # within the (comfortably large) limit
+        time.sleep(0.25)
+        # Far from a multiple of 256, but max_calls is unset: still enforced.
+        with pytest.raises(BudgetExceededError):
+            budget.tick()
+
+    def test_tight_time_limit_fires_in_compute_tree(
+        self, figure3_wsset, figure3_world_table
+    ):
+        with pytest.raises(BudgetExceededError):
+            compute_tree(
+                figure3_wsset, figure3_world_table, budget=Budget(time_limit=1e-12)
+            )
 
 
 class TestRandomisedEquivalence:

@@ -1,0 +1,358 @@
+"""Tests for the interned decomposition engine (integer packing, iterative core).
+
+The central guarantee is cross-engine agreement: on random instances the
+interned engine, the legacy dict engine and brute-force world enumeration all
+compute the same probability (within 1e-9), for INDVE and VE and every
+heuristic.  The unit tests additionally pin the packed representation and the
+interned counterparts of the shared ws-set helpers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force_probability
+from repro.core.conditioning import condition_wsset, conditioned_world_table
+from repro.core.interned import (
+    InternedEngine,
+    InternedSpace,
+    connected_components_interned,
+    count_occurrences_interned,
+    deduplicate_interned,
+    remove_subsumed_interned,
+    split_on_variable_interned,
+)
+from repro.core.probability import (
+    ExactConfig,
+    make_engine,
+    probability,
+    probability_of_descriptors,
+    probability_with_stats,
+)
+from repro.core.wsset import WSSet
+from repro.db.world_table import WorldTable
+from repro.errors import BudgetExceededError, UnknownVariableError
+from repro.workloads.random_instances import random_world_table, random_wsset
+
+ALL_HEURISTICS = ("minlog", "minmax", "first", "frequency", "random")
+
+
+@pytest.fixture
+def space(figure3_world_table) -> InternedSpace:
+    return figure3_world_table.interned()
+
+
+class TestInternedSpace:
+    def test_pack_unpack_round_trip(self, figure3_world_table, space):
+        for variable in figure3_world_table.variables:
+            for value in figure3_world_table.domain(variable):
+                packed = space.pack(variable, value)
+                assert space.unpack(packed) == (variable, value)
+                assert space.weight(packed) == figure3_world_table.probability(
+                    variable, value
+                )
+
+    def test_packed_descriptors_are_sorted_tuples(self, space):
+        interned = space.intern_items([("y", 1), ("x", 2)])
+        assert interned == tuple(sorted(interned))
+        assert space.externalize(interned) == {"x": 2, "y": 1}
+
+    def test_unknown_variable_raises(self, space):
+        with pytest.raises(UnknownVariableError):
+            space.intern_items([("nope", 1)])
+
+    def test_out_of_domain_value_marks_descriptor_unsatisfiable(self, space):
+        assert space.intern_items([("x", 99)]) is None
+        # ... and such descriptors are dropped from interned ws-sets, which
+        # leaves the probability unchanged (no world satisfies them).
+        assert space.intern_descriptors([{"x": 99}, {"x": 1}]) == [
+            space.intern_items([("x", 1)])
+        ]
+
+    def test_space_is_cached_and_invalidated_on_mutation(self):
+        table = WorldTable()
+        table.add_variable("a", {0: 0.5, 1: 0.5})
+        first = table.interned()
+        assert table.interned() is first
+        table.add_variable("b", {0: 0.3, 1: 0.7})
+        second = table.interned()
+        assert second is not first
+        assert second.variable_ids.keys() == {"a", "b"}
+
+    def test_domain_size_by_id(self, figure3_world_table, space):
+        for variable in figure3_world_table.variables:
+            variable_id = space.variable_ids[variable]
+            assert space.domain_size(variable_id) == figure3_world_table.domain_size(
+                variable
+            )
+
+
+class TestInternedHelpers:
+    def test_deduplicate(self, space):
+        d1 = space.intern_items([("x", 1)])
+        d2 = space.intern_items([("y", 2)])
+        assert deduplicate_interned([d1, d2, d1]) == [d1, d2]
+
+    def test_remove_subsumed(self, space):
+        small = space.intern_items([("x", 1)])
+        large = space.intern_items([("x", 1), ("y", 2)])
+        other = space.intern_items([("z", 1)])
+        assert remove_subsumed_interned([large, small, other]) == [small, other]
+
+    def test_remove_subsumed_first_duplicate_wins(self, space):
+        a = space.intern_items([("x", 1), ("y", 2)])
+        b = space.intern_items([("y", 2), ("x", 1)])
+        assert a == b  # sorting canonicalises the packing
+        assert remove_subsumed_interned([a, b]) == [a]
+
+    def test_connected_components(self, space):
+        d1 = space.intern_items([("x", 1), ("y", 2)])
+        d2 = space.intern_items([("y", 1)])
+        d3 = space.intern_items([("u", 1), ("v", 2)])
+        components = connected_components_interned([d1, d2, d3], space.shift)
+        assert sorted(len(component) for component in components) == [1, 2]
+
+    def test_connected_components_single(self, space):
+        d1 = space.intern_items([("x", 1), ("y", 2)])
+        d2 = space.intern_items([("y", 1)])
+        descriptors = [d1, d2]
+        assert connected_components_interned(descriptors, space.shift) == [descriptors]
+
+    def test_split_on_variable(self, space):
+        x_id = space.variable_ids["x"]
+        d1 = space.intern_items([("x", 1), ("y", 2)])
+        d2 = space.intern_items([("x", 2)])
+        d3 = space.intern_items([("z", 1)])
+        by_value, unmentioned = split_on_variable_interned(
+            [d1, d2, d3], x_id, space.shift
+        )
+        assert by_value == {
+            space.value_ids[x_id][1]: [space.intern_items([("y", 2)])],
+            space.value_ids[x_id][2]: [()],
+        }
+        assert unmentioned == [d3]
+
+    def test_count_occurrences(self, space):
+        d1 = space.intern_items([("x", 1), ("y", 2)])
+        d2 = space.intern_items([("x", 1)])
+        occurrences = count_occurrences_interned([d1, d2], space.shift, space.mask)
+        x_id, y_id = space.variable_ids["x"], space.variable_ids["y"]
+        assert occurrences[x_id] == {space.value_ids[x_id][1]: 2}
+        assert occurrences[y_id] == {space.value_ids[y_id][2]: 1}
+
+
+class TestEngineBasics:
+    def test_example_47_is_the_default_engine(self, figure3_wsset, figure3_world_table):
+        assert ExactConfig().engine == "interned"
+        assert probability(figure3_wsset, figure3_world_table) == pytest.approx(0.7578)
+
+    def test_unknown_engine_rejected(self, figure3_wsset, figure3_world_table):
+        with pytest.raises(ValueError, match="unknown engine"):
+            probability(
+                figure3_wsset, figure3_world_table, ExactConfig(engine="turbo")
+            )
+
+    def test_effective_memoize_defaults(self):
+        assert ExactConfig().effective_memoize is True
+        assert ExactConfig(engine="legacy").effective_memoize is False
+        assert ExactConfig(memoize=False).effective_memoize is False
+        assert ExactConfig(engine="legacy", memoize=True).effective_memoize is True
+
+    def test_with_engine(self):
+        config = ExactConfig().with_engine("legacy")
+        assert config.engine == "legacy"
+        assert config.use_independent_partitioning
+
+    def test_empty_and_universal_wssets(self, figure3_world_table):
+        assert probability(WSSet.empty(), figure3_world_table) == 0.0
+        assert probability(WSSet.universal(), figure3_world_table) == 1.0
+
+    def test_deep_elimination_needs_no_recursion_limit(self):
+        """A 1300-variable chain would overflow CPython's default recursion
+        limit (1000) in a naive recursion; the iterative core does not
+        recurse, so no ``sys.setrecursionlimit`` hack is involved."""
+        table = WorldTable()
+        count = 1300
+        for index in range(count):
+            table.add_variable(index, {0: 0.5, 1: 0.5})
+        # One long chain of pairwise-overlapping descriptors: a single
+        # connected component that forces one elimination per level.
+        descriptors = [{i: 0, i + 1: 0} for i in range(count - 1)]
+        ws_set = WSSet(descriptors)
+        value = probability(ws_set, table, ExactConfig(heuristic="first"))
+        assert value == pytest.approx(1.0)  # the union covers ~all worlds
+
+    def test_budget_time_limit_fires(self):
+        rng = random.Random(3)
+        world_table = random_world_table(rng, num_variables=8, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=12, max_length=3)
+        with pytest.raises(BudgetExceededError):
+            probability(ws_set, world_table, ExactConfig(time_limit=1e-12))
+
+    def test_engine_reuse_shares_the_memo_cache(self, figure3_world_table):
+        engine = make_engine(figure3_world_table, ExactConfig())
+        descriptors = [
+            {"x": 1, "y": 1, "z": 1},
+            {"x": 2, "y": 2, "z": 1},
+            {"x": 3, "y": 1, "z": 2},
+            {"x": 1, "y": 2, "z": 2},
+            {"x": 2, "y": 1, "u": 1},
+            {"x": 3, "y": 2, "u": 2},
+        ]
+        first = engine.compute(descriptors)
+        filled = len(engine.cache)
+        second = engine.compute(descriptors)
+        assert first == pytest.approx(second)
+        assert filled > 0
+        assert engine.cache_hits > 0  # the second run reuses cached sub-ws-sets
+
+    def test_probability_of_descriptors_matches_wsset_probability(
+        self, figure3_wsset, figure3_world_table
+    ):
+        descriptors = [dict(d.items()) for d in figure3_wsset]
+        assert probability_of_descriptors(
+            descriptors, figure3_world_table
+        ) == pytest.approx(probability(figure3_wsset, figure3_world_table))
+
+
+class TestCrossEngineAgreement:
+    """Satellite property test: interned == legacy == brute force (1e-9)."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("method", ["indve", "ve"])
+    def test_random_instances_all_heuristics(self, seed, method):
+        rng = random.Random(4200 + seed)
+        world_table = random_world_table(rng, num_variables=6, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=8, max_length=3)
+        expected = brute_force_probability(ws_set, world_table)
+        use_ip = method == "indve"
+        for heuristic in ALL_HEURISTICS:
+            interned = probability(
+                ws_set,
+                world_table,
+                ExactConfig(
+                    use_independent_partitioning=use_ip, heuristic=heuristic
+                ),
+            )
+            legacy = probability(
+                ws_set,
+                world_table,
+                ExactConfig(
+                    use_independent_partitioning=use_ip,
+                    heuristic=heuristic,
+                    engine="legacy",
+                ),
+            )
+            assert interned == pytest.approx(expected, abs=1e-9)
+            assert legacy == pytest.approx(expected, abs=1e-9)
+            assert interned == pytest.approx(legacy, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_memoization_does_not_change_results(self, seed):
+        rng = random.Random(8800 + seed)
+        world_table = random_world_table(rng, num_variables=6, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=8, max_length=3)
+        expected = brute_force_probability(ws_set, world_table)
+        for memoize in (None, True, False):
+            value = probability(ws_set, world_table, ExactConfig(memoize=memoize))
+            assert value == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_subsumption_knobs_agree(self, seed):
+        rng = random.Random(6600 + seed)
+        world_table = random_world_table(rng, num_variables=5, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=7, max_length=3)
+        expected = brute_force_probability(ws_set, world_table)
+        for config in (
+            ExactConfig(simplify_subsumed=False),
+            ExactConfig(subsumption_every_step=True),
+            ExactConfig(simplify_subsumed=False, engine="legacy"),
+            ExactConfig(subsumption_every_step=True, engine="legacy"),
+        ):
+            assert probability(ws_set, world_table, config) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+
+class TestConditioningWithInternedDelegation:
+    """Conditioning delegates confidence subproblems to one shared engine."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_conditioning_engines_agree(self, seed):
+        rng = random.Random(9900 + seed)
+        world_table = random_world_table(rng, num_variables=5, max_domain_size=3)
+        condition = random_wsset(rng, world_table, num_descriptors=4, max_length=2)
+        tuple_set = random_wsset(rng, world_table, num_descriptors=3, max_length=2)
+        tuples = list(enumerate(tuple_set))
+        condition_mass = brute_force_probability(condition, world_table)
+        if condition_mass == 0.0:
+            pytest.skip("zero-probability condition")
+        results = {}
+        for engine in ("interned", "legacy"):
+            result = condition_wsset(
+                condition, tuples, world_table, ExactConfig(engine=engine)
+            )
+            results[engine] = result
+            assert result.confidence == pytest.approx(condition_mass, abs=1e-9)
+            combined = conditioned_world_table(world_table, result)
+            for tag, descriptor in tuples:
+                joint = brute_force_probability(
+                    WSSet([descriptor]).intersect(condition), world_table
+                )
+                rewritten = WSSet(result.rewritten.get(tag, ()))
+                actual = (
+                    probability(rewritten, combined) if len(rewritten) else 0.0
+                )
+                assert actual == pytest.approx(joint / condition_mass, abs=1e-9)
+        assert results["interned"].confidence == pytest.approx(
+            results["legacy"].confidence, abs=1e-9
+        )
+
+    def test_delegate_engine_is_shared_across_subproblems(self, figure3_world_table):
+        condition = WSSet([{"x": 1}, {"x": 2, "y": 1}, {"u": 1, "v": 1}, {"u": 2}])
+        result = condition_wsset(
+            condition, [("t", {"y": 2})], figure3_world_table, ExactConfig()
+        )
+        assert result.confidence == pytest.approx(
+            brute_force_probability(condition, figure3_world_table)
+        )
+
+
+class TestStatsAndMemo:
+    def test_interned_stats_count_nodes(self):
+        world_table = WorldTable()
+        for index in range(9):
+            world_table.add_variable(index, {0: 0.5, 1: 0.5})
+        # A connected 8-descriptor chain: too large for the closed form at the
+        # root (forcing a ⊕-node) but small enough to end in closed forms.
+        ws_set = WSSet([{i: 0, i + 1: 0} for i in range(8)])
+        result = probability_with_stats(ws_set, world_table)
+        assert result.stats.recursive_calls >= 1
+        assert result.stats.variable_nodes >= 1
+        assert result.stats.closed_form_nodes >= 1
+
+    def test_memo_hits_on_repeated_subproblems(self):
+        world_table = WorldTable()
+        for name in ("a", "b", "c", "d", "e", "f", "g"):
+            world_table.add_variable(name, {0: 0.5, 1: 0.5})
+        # Both a-branches leave the identical residual problem over b..g.
+        shared = [
+            {"b": 0, "c": 0, "d": 0},
+            {"c": 1, "d": 1, "e": 0},
+            {"d": 0, "e": 1, "f": 0},
+            {"e": 0, "f": 1, "g": 0},
+            {"f": 0, "g": 1, "b": 1},
+            {"g": 0, "b": 0, "c": 1},
+        ]
+        descriptors = [{"a": 0, **d} for d in shared] + [
+            {"a": 1, **d} for d in shared
+        ]
+        ws_set = WSSet(descriptors)
+        # The "first" heuristic eliminates `a` at the root, so both branches
+        # reduce to exactly the same sub-ws-set: the second one must hit.
+        engine = InternedEngine(world_table, ExactConfig(heuristic="first"))
+        value = engine.compute_wsset(ws_set)
+        assert value == pytest.approx(brute_force_probability(ws_set, world_table))
+        assert engine.cache_hits > 0

@@ -109,11 +109,23 @@ class TestConfigurations:
         assert config.use_independent_partitioning
 
     def test_stats_report_node_kinds(self, figure3_wsset, figure3_world_table):
-        result = probability_with_stats(figure3_wsset, figure3_world_table)
+        """The legacy recursion accounts every ws-tree node kind it visits."""
+        result = probability_with_stats(
+            figure3_wsset, figure3_world_table, ExactConfig(engine="legacy")
+        )
         assert result.probability == pytest.approx(0.7578)
         assert result.stats.independent_nodes >= 1
         assert result.stats.variable_nodes >= 2
         assert result.stats.leaf_nodes >= 1
+
+    def test_interned_stats_report_closed_form_nodes(
+        self, figure3_wsset, figure3_world_table
+    ):
+        """The interned engine resolves the small Figure 3 ws-set in closed form."""
+        result = probability_with_stats(figure3_wsset, figure3_world_table)
+        assert result.probability == pytest.approx(0.7578)
+        assert result.stats.recursive_calls >= 1
+        assert result.stats.closed_form_nodes >= 1
 
     def test_memoization_counts_cache_hits(self):
         w = WorldTable()
@@ -126,12 +138,16 @@ class TestConfigurations:
         )
         assert result.probability == pytest.approx(brute_force_probability(s, w))
 
-    def test_budget_max_calls(self, figure3_wsset, figure3_world_table):
+    @pytest.mark.parametrize("engine", ["interned", "legacy"])
+    def test_budget_max_calls(self, engine):
+        rng = random.Random(7)
+        world_table = random_world_table(rng, num_variables=8, max_domain_size=3)
+        ws_set = random_wsset(rng, world_table, num_descriptors=12, max_length=3)
         with pytest.raises(BudgetExceededError):
             probability(
-                figure3_wsset,
-                figure3_world_table,
-                ExactConfig.indve("minlog", max_calls=2),
+                ws_set,
+                world_table,
+                ExactConfig.indve("minlog", max_calls=2, engine=engine),
             )
 
 
