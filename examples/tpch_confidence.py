@@ -1,9 +1,15 @@
 """TPC-H-style confidence computation (the Figure 10 scenario), via SQL and algebra.
 
-Generates a small tuple-independent TPC-H-like probabilistic database, runs
-the paper's two Boolean queries Q1 and Q2 both through the relational-algebra
-API and through the SQL front end, and compares the exact confidences
-(INDVE with the minlog heuristic) against the Karp-Luby approximation.
+Generates a small tuple-independent TPC-H-like probabilistic database, opens
+one confidence :class:`~repro.db.session.Session` over it, and runs the
+paper's two Boolean queries Q1 and Q2 both through the relational-algebra API
+and through the SQL front end — every confidence computation (exact INDVE
+with the minlog heuristic, the Karp-Luby approximation, the SQL executor)
+goes through the same session, so the interned representation and memo cache
+are shared across all of them.  This is the session-API version of what used
+to be free-function calls (``probability(...)``, ``execute(db, sql)``); those
+still work, but a session is the idiomatic way to issue several ``conf()``
+queries against one database.
 
 Run with::
 
@@ -15,8 +21,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import ExactConfig, karp_luby_confidence, probability
-from repro.sql import execute
+from repro import ExactConfig
 from repro.workloads.tpch import TPCHGenerator, query_q1, query_q2
 
 Q1_SQL = """
@@ -46,7 +51,9 @@ def main() -> None:
         f"  customers={instance.customer_count}  orders={instance.orders_count}  "
         f"lineitems={instance.lineitem_count}  variables={instance.variable_count}"
     )
-    config = ExactConfig.indve("minlog")
+    # One session for the whole script: exact, approximate and SQL execution
+    # all share a single engine handle (interned space + memo cache).
+    session = db.session(ExactConfig.indve("minlog"), seed=7)
 
     for label, algebra_query, sql in (
         ("Q1 (3-way join)", query_q1, Q1_SQL),
@@ -58,25 +65,31 @@ def main() -> None:
         print(f"  answer ws-set size: {len(answer)} "
               f"(built in {time.perf_counter() - started:.2f}s)")
 
-        started = time.perf_counter()
-        exact = probability(answer, db.world_table, config)
-        exact_seconds = time.perf_counter() - started
-        print(f"  exact confidence (indve/minlog): {exact:.6f}   [{exact_seconds:.3f}s]")
+        exact = session.confidence(answer)
+        print(f"  exact confidence (indve/minlog): {exact.value:.6f}   "
+              f"[{exact.wall_time:.3f}s]")
 
-        started = time.perf_counter()
-        approximate = karp_luby_confidence(answer, db.world_table, 0.1, 0.01, seed=7)
-        kl_seconds = time.perf_counter() - started
+        approximate = session.confidence(
+            answer, method="karp_luby", epsilon=0.1, delta=0.01
+        )
         print(
-            f"  Karp-Luby (ε=0.1, δ=0.01):        {approximate.estimate:.6f}   "
-            f"[{kl_seconds:.3f}s, {approximate.iterations} iterations]"
+            f"  Karp-Luby (ε=0.1, δ=0.01):        {approximate.value:.6f}   "
+            f"[{approximate.wall_time:.3f}s, {approximate.iterations} iterations]"
         )
 
         started = time.perf_counter()
-        result = execute(db, sql, config)
+        result = session.execute(sql)
         sql_seconds = time.perf_counter() - started
         print(f"  via SQL front end:                {result.confidence:.6f}   "
               f"[{sql_seconds:.3f}s, ws-set size {len(result.ws_set)}]")
-        assert abs(result.confidence - exact) < 1e-9, "SQL and algebra must agree"
+        assert abs(result.confidence - exact.value) < 1e-9, "SQL and algebra must agree"
+
+    stats = session.statistics()
+    print(
+        f"\nsession totals: {stats.computations} exact computations, "
+        f"{stats.frames} frames, {stats.memo_hits} memo hits, "
+        f"{stats.wall_time:.3f}s in the engine"
+    )
 
 
 if __name__ == "__main__":

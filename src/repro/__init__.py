@@ -27,6 +27,7 @@ from repro.core.wstree import WSTree, IndependentNode, VariableNode, LeafNode, B
 from repro.core.decompose import compute_tree, DecompositionStats
 from repro.core.heuristics import make_heuristic, available_heuristics
 from repro.core.probability import ExactConfig, probability, probability_with_stats, confidence
+from repro.core.engine import EngineHandle, EngineStats
 from repro.core.elimination import descriptor_elimination_probability, mutex_normal_form
 from repro.core.conditioning import condition_wsset, ConditioningResult, posterior_probability
 from repro.core.bruteforce import brute_force_probability
@@ -44,7 +45,13 @@ from repro.db.constraints import (
     EqualityGeneratingDependency,
     DenialConstraint,
 )
-from repro.db.confidence import confidence_by_tuple, confidence_of_relation, certain_tuples
+from repro.db.confidence import (
+    confidence_by_tuple,
+    confidence_of_relation,
+    certain_tuples,
+    possible_tuples,
+)
+from repro.db.session import Session, AsyncSession, ConfidenceRequest, ConfidenceResult
 from repro.db.tuple_independent import tuple_independent_relation
 
 from repro.errors import (
@@ -71,6 +78,8 @@ __all__ = [
     "make_heuristic",
     "available_heuristics",
     "ExactConfig",
+    "EngineHandle",
+    "EngineStats",
     "probability",
     "probability_with_stats",
     "confidence",
@@ -100,6 +109,11 @@ __all__ = [
     "confidence_by_tuple",
     "confidence_of_relation",
     "certain_tuples",
+    "possible_tuples",
+    "Session",
+    "AsyncSession",
+    "ConfidenceRequest",
+    "ConfidenceResult",
     "tuple_independent_relation",
     # errors
     "ReproError",

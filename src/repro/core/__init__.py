@@ -26,9 +26,10 @@ from repro.core.heuristics import (
     RandomHeuristic,
     make_heuristic,
 )
-from repro.core.decompose import compute_tree, DecompositionStats
+from repro.core.decompose import compute_tree, BoundedMemo, DecompositionStats
 from repro.core.interned import InternedEngine, InternedSpace
 from repro.core.probability import ExactConfig, make_engine, probability, confidence
+from repro.core.engine import EngineHandle, EngineStats
 from repro.core.elimination import descriptor_elimination_probability
 from repro.core.conditioning import condition_wsset, ConditioningResult
 from repro.core.bruteforce import (
@@ -54,10 +55,13 @@ __all__ = [
     "RandomHeuristic",
     "make_heuristic",
     "compute_tree",
+    "BoundedMemo",
     "DecompositionStats",
     "InternedEngine",
     "InternedSpace",
     "ExactConfig",
+    "EngineHandle",
+    "EngineStats",
     "make_engine",
     "probability",
     "confidence",

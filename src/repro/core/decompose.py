@@ -25,6 +25,7 @@ the probability computation (see :mod:`repro.core.probability` and
 from __future__ import annotations
 
 import contextlib
+import itertools
 import sys
 import time
 from dataclasses import dataclass, field
@@ -137,6 +138,42 @@ class Budget:
     @property
     def calls(self) -> int:
         return self._calls
+
+
+class BoundedMemo(dict):
+    """A memo cache with a size bound and clear-half eviction.
+
+    Behaves like a plain ``dict`` except that inserting a *new* key while the
+    cache holds ``max_entries`` entries first evicts the oldest half of the
+    entries (dicts iterate in insertion order, so the front of the dict is the
+    least recently *inserted* half).  Hits do not refresh entries — this is
+    deliberately FIFO-flavoured: eviction happens in one O(n) sweep every
+    ``max_entries / 2`` insertions instead of per-lookup bookkeeping on the
+    engines' hottest path.  Used for long-running shared engines (sessions,
+    servers) whose memo would otherwise grow without bound.
+    """
+
+    __slots__ = ("max_entries", "evictions")
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        if max_entries < 2:
+            raise ValueError("memo_limit must be at least 2")
+        self.max_entries = max_entries
+        self.evictions = 0
+
+    def __setitem__(self, key, value) -> None:
+        if len(self) >= self.max_entries and key not in self:
+            drop = len(self) - self.max_entries // 2
+            for stale in list(itertools.islice(iter(self), drop)):
+                del self[stale]
+            self.evictions += drop
+        super().__setitem__(key, value)
+
+
+def make_memo(max_entries: "int | None") -> dict:
+    """The memo dict used by the engines: bounded iff ``max_entries`` is set."""
+    return BoundedMemo(max_entries) if max_entries is not None else {}
 
 
 # ----------------------------------------------------------------------

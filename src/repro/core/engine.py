@@ -1,0 +1,203 @@
+"""A reusable handle on one exact-confidence engine (the query-service seam).
+
+Every public entry point used to rebuild an engine per call — interning the
+world table, allocating a fresh memo cache, arming a fresh budget — and throw
+all of it away afterwards, so nothing was shared between the many ``conf()``
+queries a real workload issues against one world table.  An
+:class:`EngineHandle` extracts that per-call setup from
+:func:`repro.core.probability.probability` into a long-lived object:
+
+* **one engine, many computations** — the interned representation and the
+  memo cache (component cache) survive across calls, so repeated and
+  overlapping queries hit warm state;
+* **per-computation budgets** — each computation re-arms a fresh
+  :class:`~repro.core.decompose.Budget` (call-count and wall-clock limits
+  restart per query, as a service expects), optionally overridden per call;
+* **staleness tracking** — the handle watches the world table's version
+  counter (and identity, for conditioning, which replaces the table) and
+  transparently rebuilds the engine when the table changed, retiring the
+  statistics of the old engine into its aggregates;
+* **aggregate statistics** — frames (recursive calls), memo hits, memo size,
+  evictions and accumulated wall time across the handle's whole lifetime,
+  snapshotted as :class:`EngineStats`.
+
+:class:`repro.db.session.Session` builds exactly one handle and routes every
+exact computation — single queries, batched per-tuple confidences, SQL
+execution, the exact leg of the hybrid method — through it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.decompose import Budget
+from repro.core.probability import ExactConfig, make_engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.wsset import WSSet
+    from repro.db.world_table import WorldTable
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Aggregate statistics of an :class:`EngineHandle` over its lifetime.
+
+    ``frames`` counts engine recursion frames (decomposition nodes expanded),
+    ``memo_hits`` sub-ws-sets answered from the component cache, and
+    ``wall_time`` the summed wall-clock seconds of all computations; all three
+    include the contributions of engines retired by a rebuild.  ``memo_size``
+    and ``memo_evictions`` describe the *current* engine's cache.
+    """
+
+    computations: int = 0
+    frames: int = 0
+    memo_hits: int = 0
+    memo_size: int = 0
+    memo_evictions: int = 0
+    wall_time: float = 0.0
+    engine_rebuilds: int = 0
+
+
+class EngineHandle:
+    """One long-lived exact engine with memo reuse across computations."""
+
+    def __init__(
+        self,
+        world_table: "WorldTable",
+        config: ExactConfig | None = None,
+    ) -> None:
+        self.config = config or ExactConfig()
+        self._world_table = world_table
+        self._engine = None
+        self._engine_version: int | None = None
+        self._computations = 0
+        self._wall_time = 0.0
+        self._rebuilds = 0
+        # Frames / hits of engines discarded by rebuilds, folded into stats.
+        self._retired_frames = 0
+        self._retired_hits = 0
+
+    # ------------------------------------------------------------------
+    # Binding / staleness
+    # ------------------------------------------------------------------
+    @property
+    def world_table(self) -> "WorldTable":
+        return self._world_table
+
+    def rebind(self, world_table: "WorldTable") -> None:
+        """Point the handle at a (possibly) different world table.
+
+        Conditioning replaces a database's world table wholesale; sessions
+        call this before every computation so the next :meth:`engine` access
+        rebuilds against the current table.  Rebinding to the same object is
+        free.
+        """
+        if world_table is not self._world_table:
+            self._world_table = world_table
+            self._retire()
+
+    def invalidate(self) -> None:
+        """Drop the current engine (and its memo); it is rebuilt lazily."""
+        self._retire()
+
+    def _retire(self) -> None:
+        if self._engine is not None:
+            self._retired_frames += self._engine.stats.recursive_calls
+            self._retired_hits += self._engine.cache_hits
+            self._engine = None
+            self._rebuilds += 1
+
+    def engine(self):
+        """The current engine, rebuilt if the world table was mutated."""
+        version = self._world_table.version
+        if self._engine is None or version != self._engine_version:
+            self._retire()
+            self._engine = make_engine(
+                self._world_table,
+                self.config,
+                record_elimination_order=False,
+            )
+            self._engine_version = version
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+    def probability(
+        self,
+        ws_set: "WSSet",
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> float:
+        """Exact probability of a ws-set through the shared engine.
+
+        ``max_calls`` / ``time_limit`` override the config's budget for this
+        one computation; either way the budget is re-armed fresh, so limits
+        apply per computation, not to the handle's lifetime.  Raises
+        :class:`~repro.errors.BudgetExceededError` like the one-shot API.
+        """
+        return self._timed(
+            lambda engine: engine.compute_wsset(ws_set), max_calls, time_limit
+        )
+
+    def probability_of_descriptors(
+        self,
+        descriptors: list[dict],
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> float:
+        """Like :meth:`probability` for plain-dict descriptors."""
+        return self._timed(
+            lambda engine: engine.compute(descriptors), max_calls, time_limit
+        )
+
+    def _timed(self, run, max_calls: int | None, time_limit: float | None) -> float:
+        engine = self.engine()
+        engine.reset_budget(
+            Budget(
+                max_calls if max_calls is not None else self.config.max_calls,
+                time_limit if time_limit is not None else self.config.time_limit,
+            )
+        )
+        started = time.perf_counter()
+        try:
+            return run(engine)
+        finally:
+            self._wall_time += time.perf_counter() - started
+            self._computations += 1
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineStats:
+        """Aggregate statistics of all computations so far."""
+        engine = self._engine
+        frames = self._retired_frames
+        hits = self._retired_hits
+        memo_size = 0
+        evictions = 0
+        if engine is not None:
+            frames += engine.stats.recursive_calls
+            hits += engine.cache_hits
+            memo_size = len(engine.cache)
+            evictions = getattr(engine.cache, "evictions", 0)
+        return EngineStats(
+            computations=self._computations,
+            frames=frames,
+            memo_hits=hits,
+            memo_size=memo_size,
+            memo_evictions=evictions,
+            wall_time=self._wall_time,
+            engine_rebuilds=self._rebuilds,
+        )
+
+    def __repr__(self) -> str:
+        stats = self.snapshot()
+        return (
+            f"EngineHandle({self.config.engine!r}, computations={stats.computations}, "
+            f"memo={stats.memo_size} entries, {stats.memo_hits} hits)"
+        )

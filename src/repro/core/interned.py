@@ -41,6 +41,7 @@ from repro.core.decompose import (
     Budget,
     DecompositionStats,
     kept_after_subsumption,
+    make_memo,
 )
 from repro.core.heuristics import make_heuristic
 from repro.errors import UnknownVariableError
@@ -352,13 +353,18 @@ class InternedEngine:
         )
         self.stats = DecompositionStats()
         self.memoize = config.effective_memoize
-        self.cache: dict[tuple, float] = {}
+        self.cache: dict[tuple, float] = make_memo(config.memo_limit)
         self.cache_hits = 0
         # Hot-loop bindings: resolved once so _expand avoids repeated
         # attribute chases on every node.
         self._use_independent_partitioning = config.use_independent_partitioning
         self._subsumption_every_step = config.subsumption_every_step
         self._tick = self.budget.tick
+
+    def reset_budget(self, budget: Budget) -> None:
+        """Install a fresh budget (handles re-arm per computation)."""
+        self.budget = budget
+        self._tick = budget.tick
 
     # -- public entry points --------------------------------------------
     def compute_wsset(self, ws_set: "WSSet") -> float:

@@ -41,6 +41,7 @@ from repro.core.decompose import (
     DecompositionStats,
     connected_components,
     deduplicate,
+    make_memo,
     recursion_guard,
     remove_subsumed,
     split_on_variable,
@@ -80,6 +81,12 @@ class ExactConfig:
         keys are cheap O(size) tuple hashes, off for the legacy engine, whose
         nested-frozenset keys rarely pay for themselves.  Set explicitly to
         force either behaviour (the ablation knob).
+    memo_limit:
+        Optional bound on the number of memo-cache entries.  ``None`` (the
+        default) keeps the cache unbounded, which is right for one-shot
+        computations; long-lived shared engines (sessions, servers) should set
+        a limit, turning the memo into a
+        :class:`~repro.core.decompose.BoundedMemo` with clear-half eviction.
     max_calls, time_limit:
         Optional budget limits forwarded to :class:`~repro.core.decompose.Budget`.
     engine:
@@ -93,6 +100,7 @@ class ExactConfig:
     simplify_subsumed: bool = True
     subsumption_every_step: bool = False
     memoize: bool | None = None
+    memo_limit: int | None = None
     max_calls: int | None = None
     time_limit: float | None = None
     engine: str = "interned"
@@ -270,8 +278,12 @@ class LegacyProbabilityEngine:
         )
         self.stats = DecompositionStats()
         self.memoize = config.effective_memoize
-        self.cache: dict = {}
+        self.cache: dict = make_memo(config.memo_limit)
         self.cache_hits = 0
+
+    def reset_budget(self, budget: "Budget") -> None:
+        """Install a fresh budget (handles re-arm per computation)."""
+        self.budget = budget
 
     # -- public entry points --------------------------------------------
     def compute_wsset(self, ws_set: WSSet) -> float:
@@ -364,3 +376,14 @@ class LegacyProbabilityEngine:
 
 #: Backwards-compatible alias of the pre-interning engine class name.
 _ProbabilityEngine = LegacyProbabilityEngine
+
+
+def __getattr__(name: str):
+    # EngineHandle lives in repro.core.engine (which imports this module); the
+    # lazy re-export keeps ``from repro.core.probability import EngineHandle``
+    # working without a circular import.
+    if name in ("EngineHandle", "EngineStats"):
+        from repro.core import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -29,7 +29,19 @@ from repro.db.constraints import (
     EqualityGeneratingDependency,
     DenialConstraint,
 )
-from repro.db.confidence import confidence_by_tuple, confidence_of_relation
+from repro.db.confidence import (
+    ConfidenceRow,
+    certain_tuples,
+    confidence_by_tuple,
+    confidence_of_relation,
+    possible_tuples,
+)
+from repro.db.session import (
+    AsyncSession,
+    ConfidenceRequest,
+    ConfidenceResult,
+    Session,
+)
 from repro.db.tuple_independent import tuple_independent_relation
 
 __all__ = [
@@ -50,7 +62,14 @@ __all__ = [
     "KeyConstraint",
     "EqualityGeneratingDependency",
     "DenialConstraint",
+    "ConfidenceRow",
     "confidence_by_tuple",
     "confidence_of_relation",
+    "certain_tuples",
+    "possible_tuples",
+    "Session",
+    "AsyncSession",
+    "ConfidenceRequest",
+    "ConfidenceResult",
     "tuple_independent_relation",
 ]

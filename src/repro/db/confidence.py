@@ -5,6 +5,17 @@ database is the combined probability weight of all possible worlds in which
 ``t`` is present.  On U-relations this is the probability of the ws-set of all
 row descriptors carrying the value of ``t`` — exactly the quantity computed by
 the exact engines of :mod:`repro.core.probability`.
+
+The functions here are the historical free-function surface, kept as thin
+wrappers (deprecation shims) over the session service of
+:mod:`repro.db.session`: each call opens a transient
+:class:`~repro.db.session.Session` — or reuses one passed via ``session=`` —
+and delegates to :meth:`~repro.db.session.Session.confidence_batch`, so the
+per-tuple computations of one call always share a single engine and memo
+cache.  Callers issuing *several* of these calls over one database should
+create a session themselves and either pass it in or use its methods
+directly; that is what makes ``certain_tuples`` followed by
+``possible_tuples`` reuse instead of recompute.
 """
 
 from __future__ import annotations
@@ -14,10 +25,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.probability import ExactConfig, probability
-from repro.core.wsset import WSSet
 from repro.db.urelation import URelation
+from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.session import Session
     from repro.db.world_table import WorldTable
 
 
@@ -35,38 +47,61 @@ class ConfidenceRow:
         return row
 
 
+def _session_for(
+    world_table: "WorldTable",
+    config: ExactConfig | None,
+    session: "Session | None",
+) -> "Session":
+    """The session to compute through: the given one, or a transient one."""
+    if session is not None:
+        if config is not None:
+            raise QueryError(
+                "pass either config or session=, not both "
+                "(the session already carries its config)"
+            )
+        if session.world_table is not world_table:
+            raise QueryError(
+                "the given session is bound to a different world table"
+            )
+        return session
+    from repro.db.session import Session
+
+    return Session(world_table, config)
+
+
 def confidence_by_tuple(
     relation: URelation,
     world_table: "WorldTable",
     config: ExactConfig | None = None,
+    *,
+    session: "Session | None" = None,
 ) -> list[ConfidenceRow]:
     """Confidence of each distinct value tuple of ``relation``.
 
     This closes the possible-worlds semantics: the result is an ordinary
     relation of value tuples with a numerical confidence column, as in the
     query ``select SSN, conf(SSN) from R where NAME = 'Bill'`` of the paper's
-    introduction.
+    introduction.  All tuples are solved through one shared engine; pass
+    ``session=`` to share that engine across calls as well.
     """
-    grouped: dict[tuple, list] = {}
-    for row in relation:
-        grouped.setdefault(row.values, []).append(row.descriptor)
-    results = []
-    for values, descriptors in grouped.items():
-        ws_set = WSSet(descriptors)
-        results.append(ConfidenceRow(values, probability(ws_set, world_table, config)))
-    return results
+    return _session_for(world_table, config, session).confidence_batch(relation)
 
 
 def confidence_of_relation(
     relation: URelation,
     world_table: "WorldTable",
     config: ExactConfig | None = None,
+    *,
+    session: "Session | None" = None,
 ) -> float:
     """Confidence of the Boolean query "the relation is nonempty".
 
     This is ``P(π_∅(relation))``: the probability of the union of all row
     descriptors — the quantity measured throughout the paper's experiments.
     """
+    if session is not None:
+        session = _session_for(world_table, config, session)
+        return session.confidence(relation.descriptors()).value
     return probability(relation.descriptors(), world_table, config)
 
 
@@ -76,6 +111,7 @@ def certain_tuples(
     config: ExactConfig | None = None,
     *,
     tolerance: float = 1e-9,
+    session: "Session | None" = None,
 ) -> list[tuple]:
     """The value tuples present in *every* world (``where conf(...) = 1``).
 
@@ -84,11 +120,9 @@ def certain_tuples(
     underestimate each tuple's confidence and therefore miss certain answers
     with high probability.
     """
-    return [
-        row.values
-        for row in confidence_by_tuple(relation, world_table, config)
-        if row.confidence >= 1.0 - tolerance
-    ]
+    return _session_for(world_table, config, session).certain_tuples(
+        relation, tolerance=tolerance
+    )
 
 
 def possible_tuples(
@@ -97,10 +131,9 @@ def possible_tuples(
     config: ExactConfig | None = None,
     *,
     threshold: float = 0.0,
+    session: "Session | None" = None,
 ) -> list[ConfidenceRow]:
     """Value tuples whose confidence exceeds ``threshold`` (default: possible at all)."""
-    return [
-        row
-        for row in confidence_by_tuple(relation, world_table, config)
-        if row.confidence > threshold
-    ]
+    return _session_for(world_table, config, session).possible_tuples(
+        relation, threshold=threshold
+    )

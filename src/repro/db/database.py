@@ -28,6 +28,7 @@ from repro.db.world_table import WorldTable
 from repro.errors import UnknownRelationError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.session import AsyncSession, Session
     from repro.db.world_table import Value, Variable
 else:
     Variable = object
@@ -165,6 +166,23 @@ class ProbabilisticDatabase:
     # ------------------------------------------------------------------
     # Confidence computation
     # ------------------------------------------------------------------
+    def session(self, config: ExactConfig | None = None, **options) -> "Session":
+        """A long-lived confidence :class:`~repro.db.session.Session`.
+
+        The session owns one shared exact engine (interned representation,
+        memo cache, budget) reused across all of its queries; see
+        :mod:`repro.db.session` for the request/response interface, batching
+        and the hybrid exact/approximate method.  Keyword options are
+        forwarded to the :class:`~repro.db.session.Session` constructor.
+        """
+        from repro.db.session import Session
+
+        return Session(self, config, **options)
+
+    def async_session(self, config: ExactConfig | None = None, **options) -> "AsyncSession":
+        """An :class:`~repro.db.session.AsyncSession` over a new session."""
+        return self.session(config, **options).as_async()
+
     def confidence(
         self,
         target: "WSSet | URelation | str",

@@ -1,0 +1,511 @@
+"""Session-based confidence service: one shared engine for many queries.
+
+A :class:`Session` binds a :class:`~repro.db.database.ProbabilisticDatabase`
+(or a bare :class:`~repro.db.world_table.WorldTable`) and owns exactly one
+:class:`~repro.core.engine.EngineHandle` — the interned representation, the
+memo (component) cache and the budget machinery live for the whole session
+instead of being rebuilt and discarded per call.  All confidence queries go
+through a unified request/response interface:
+
+* :class:`ConfidenceRequest` names a target (ws-set, U-relation, or relation
+  name) and a ``method`` — ``"exact"``, ``"karp_luby"``, ``"montecarlo"`` or
+  ``"hybrid"`` (exact under a budget, falling back to Karp-Luby when the
+  budget is exceeded);
+* :class:`ConfidenceResult` carries the value, the method *actually* used,
+  the error bound for approximate answers, and a snapshot of the engine
+  statistics (memo hits, frames, wall time).
+
+Batched queries (:meth:`Session.confidence_batch`) compute the per-tuple
+``conf()`` aggregate of a whole relation in one grouped pass over the shared
+engine, so sub-ws-sets common to several value tuples are solved once.  The
+SQL executor runs through a session as well (:meth:`Session.execute` /
+:meth:`Session.execute_script`), giving multi-statement scripts and repeated
+``conf()`` queries the same warm state.  :class:`AsyncSession` is the async
+executor surface: the same interface with coroutine methods
+(``asyncio.to_thread``-based) plus a ``gather``-style
+:meth:`AsyncSession.confidence_many`.
+
+The pre-session free functions (:func:`repro.db.confidence.confidence_by_tuple`
+and friends, :func:`repro.sql.executor.execute` with a bare config) keep
+working as thin wrappers that open a transient session per call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.core.engine import EngineHandle, EngineStats
+from repro.core.probability import ExactConfig
+from repro.core.wsset import WSSet
+from repro.db.confidence import ConfidenceRow
+from repro.db.urelation import URelation
+from repro.db.world_table import WorldTable
+from repro.errors import BudgetExceededError, QueryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import ProbabilisticDatabase
+    from repro.sql.executor import QueryResult
+
+#: Methods accepted by :attr:`ConfidenceRequest.method`.
+METHODS = ("exact", "karp_luby", "montecarlo", "hybrid")
+
+#: Default memo bound installed by sessions when the config leaves memoisation
+#: unbounded: large enough that ordinary workloads never evict, small enough
+#: that a long-running server cannot grow without bound.
+DEFAULT_MEMO_LIMIT = 1 << 20
+
+#: Default call budget of the exact leg of ``method="hybrid"`` when neither
+#: the request nor the session specifies a budget.
+DEFAULT_HYBRID_MAX_CALLS = 200_000
+
+
+@dataclass(frozen=True)
+class ConfidenceRequest:
+    """One confidence query against a session.
+
+    ``epsilon`` / ``delta`` / ``seed`` configure the approximate methods (and
+    the fallback leg of ``hybrid``); ``max_calls`` / ``time_limit`` override
+    the session's per-computation budget for the exact methods (and bound the
+    exact leg of ``hybrid``).  Unset fields inherit the session defaults.
+    """
+
+    target: "WSSet | URelation | str"
+    method: str = "exact"
+    epsilon: float | None = None
+    delta: float | None = None
+    seed: int | None = None
+    max_calls: int | None = None
+    time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            known = ", ".join(METHODS)
+            raise ValueError(f"unknown method {self.method!r}; known methods: {known}")
+
+
+@dataclass
+class ConfidenceResult:
+    """The answer to one :class:`ConfidenceRequest`.
+
+    ``method`` is the backend that actually produced the value (for
+    ``hybrid`` requests it is ``"exact"`` or ``"karp_luby"`` depending on
+    whether the budget held); ``epsilon`` / ``delta`` carry the (ε, δ) error
+    bound of approximate answers and are ``None`` for exact ones; ``stats``
+    snapshots the shared engine's lifetime statistics at answer time.
+    """
+
+    value: float
+    method: str
+    requested_method: str
+    epsilon: float | None = None
+    delta: float | None = None
+    iterations: int | None = None
+    fell_back: bool = False
+    fallback_reason: str | None = None
+    wall_time: float = 0.0
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.method == "exact"
+
+
+class Session:
+    """A long-lived confidence service over one probabilistic database.
+
+    Examples
+    --------
+    >>> from repro.db.database import ProbabilisticDatabase
+    >>> db = ProbabilisticDatabase()
+    >>> db.world_table.add_variable("x", {1: 0.3, 2: 0.7})
+    >>> r = db.create_relation("R", ("A",))
+    >>> r.add({"x": 1}, ("a",))
+    >>> session = db.session()
+    >>> round(session.confidence("R").value, 6)
+    0.3
+    """
+
+    def __init__(
+        self,
+        source: "ProbabilisticDatabase | WorldTable",
+        config: ExactConfig | None = None,
+        *,
+        epsilon: float = 0.1,
+        delta: float = 0.01,
+        seed: int | None = None,
+        memo_limit: int | None = None,
+        hybrid_max_calls: int | None = None,
+        hybrid_time_limit: float | None = None,
+    ) -> None:
+        config = config or ExactConfig()
+        if memo_limit is not None:
+            config = replace(config, memo_limit=memo_limit)
+        elif config.memo_limit is None and config.effective_memoize:
+            # Bound the shared memo sanely: a session's cache must not grow
+            # without bound over thousands of queries.
+            config = replace(config, memo_limit=DEFAULT_MEMO_LIMIT)
+        self.config = config
+        self.epsilon = epsilon
+        self.delta = delta
+        self.seed = seed
+        self.hybrid_max_calls = hybrid_max_calls
+        self.hybrid_time_limit = hybrid_time_limit
+        if isinstance(source, WorldTable):
+            self._database: "ProbabilisticDatabase | None" = None
+            world_table = source
+        else:
+            self._database = source
+            world_table = source.world_table
+        self._handle = EngineHandle(world_table, config)
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> "ProbabilisticDatabase | None":
+        """The bound database, or ``None`` for a bare world-table session."""
+        return self._database
+
+    def refresh(self) -> WorldTable:
+        """Re-resolve the current world table and rebind the engine handle.
+
+        Conditioning replaces a database's world table object wholesale;
+        rebinding keeps the handle pointed at (and rebuilt against) the
+        current one.  Called before every computation.
+        """
+        world_table = (
+            self._database.world_table if self._database is not None
+            else self._handle.world_table
+        )
+        self._handle.rebind(world_table)
+        return world_table
+
+    @property
+    def world_table(self) -> WorldTable:
+        """The current world table (re-resolved so conditioning is seen)."""
+        return self.refresh()
+
+    @property
+    def handle(self) -> EngineHandle:
+        """The shared engine handle (exposed for benchmarks and diagnostics)."""
+        return self._handle
+
+    def statistics(self) -> EngineStats:
+        """Aggregate engine statistics over the session's lifetime."""
+        return self._handle.snapshot()
+
+    def clear_cache(self) -> None:
+        """Drop the engine's memo cache (it is rebuilt lazily)."""
+        self._handle.invalidate()
+
+    def as_async(self) -> "AsyncSession":
+        """An :class:`AsyncSession` facade over this session."""
+        return AsyncSession(self)
+
+    # ------------------------------------------------------------------
+    # The unified query interface
+    # ------------------------------------------------------------------
+    def query(self, request: ConfidenceRequest) -> ConfidenceResult:
+        """Answer one :class:`ConfidenceRequest`."""
+        ws_set = self._as_wsset(request.target)
+        return self._confidence_wsset(ws_set, request)
+
+    def confidence(self, target: "WSSet | URelation | str", method: str = "exact",
+                   **options) -> ConfidenceResult:
+        """Convenience wrapper building the :class:`ConfidenceRequest` inline."""
+        return self.query(ConfidenceRequest(target, method, **options))
+
+    def confidence_many(
+        self,
+        targets: "Iterable[WSSet | URelation | str | ConfidenceRequest]",
+        method: str = "exact",
+        **options,
+    ) -> list[ConfidenceResult]:
+        """Answer several queries through the shared engine, in order."""
+        results = []
+        for target in targets:
+            if isinstance(target, ConfidenceRequest):
+                results.append(self.query(target))
+            else:
+                results.append(self.confidence(target, method, **options))
+        return results
+
+    # ------------------------------------------------------------------
+    # Batched per-tuple confidence (the conf() aggregate)
+    # ------------------------------------------------------------------
+    def confidence_batch(
+        self,
+        relation: "URelation | str",
+        method: str = "exact",
+        **options,
+    ) -> list[ConfidenceRow]:
+        """``conf()`` of every distinct value tuple, in one grouped pass.
+
+        All value tuples of the relation are solved against the *same* engine,
+        so sub-ws-sets shared between tuples (common lineage, overlapping
+        descriptor sets) are computed once and served from the memo cache for
+        every further tuple — unlike the historical per-call API, which
+        re-entered a cold engine per tuple.
+        """
+        relation = self._as_relation(relation)
+        grouped: dict[tuple, list] = {}
+        for row in relation:
+            grouped.setdefault(row.values, []).append(row.descriptor)
+        rows = []
+        for values, descriptors in grouped.items():
+            result = self.confidence(WSSet(descriptors), method, **options)
+            rows.append(ConfidenceRow(values, result.value))
+        return rows
+
+    def certain_tuples(
+        self,
+        relation: "URelation | str",
+        *,
+        tolerance: float = 1e-9,
+        **options,
+    ) -> list[tuple]:
+        """Value tuples present in every world, via one shared batch."""
+        return [
+            row.values
+            for row in self.confidence_batch(relation, **options)
+            if row.confidence >= 1.0 - tolerance
+        ]
+
+    def possible_tuples(
+        self,
+        relation: "URelation | str",
+        *,
+        threshold: float = 0.0,
+        **options,
+    ) -> list[ConfidenceRow]:
+        """Value tuples whose confidence exceeds ``threshold``, via one batch."""
+        return [
+            row
+            for row in self.confidence_batch(relation, **options)
+            if row.confidence > threshold
+        ]
+
+    # ------------------------------------------------------------------
+    # SQL execution through the session
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> "QueryResult":
+        """Execute one SQL statement with the session's shared engine."""
+        from repro.sql.executor import execute
+
+        return execute(self._require_database(), sql, session=self)
+
+    def execute_script(self, sql: str) -> "list[QueryResult]":
+        """Execute a ``;``-separated script; all statements share the engine."""
+        from repro.sql.executor import execute_script
+
+        return execute_script(self._require_database(), sql, session=self)
+
+    # ------------------------------------------------------------------
+    # Method backends
+    # ------------------------------------------------------------------
+    def _confidence_wsset(
+        self, ws_set: WSSet, request: ConfidenceRequest
+    ) -> ConfidenceResult:
+        started = time.perf_counter()
+        if request.method == "exact":
+            result = self._exact(ws_set, request)
+        elif request.method == "karp_luby":
+            result = self._karp_luby(ws_set, request)
+        elif request.method == "montecarlo":
+            result = self._montecarlo(ws_set, request)
+        else:
+            result = self._hybrid(ws_set, request)
+        # Whole-request wall time: covers the approximate backends and both
+        # legs of a hybrid request, not just time inside the exact engine.
+        result.wall_time = time.perf_counter() - started
+        result.stats = self._handle.snapshot()
+        return result
+
+    def _exact(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
+        self.refresh()
+        value = self._handle.probability(
+            ws_set, max_calls=request.max_calls, time_limit=request.time_limit
+        )
+        return ConfidenceResult(value, "exact", request.method)
+
+    def _karp_luby(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
+        from repro.approx.karp_luby import karp_luby_confidence
+
+        epsilon = request.epsilon if request.epsilon is not None else self.epsilon
+        delta = request.delta if request.delta is not None else self.delta
+        seed = request.seed if request.seed is not None else self.seed
+        approximation = karp_luby_confidence(
+            ws_set, self.world_table, epsilon, delta, seed=seed
+        )
+        return ConfidenceResult(
+            approximation.estimate,
+            "karp_luby",
+            request.method,
+            epsilon=epsilon,
+            delta=delta,
+            iterations=approximation.iterations,
+        )
+
+    def _montecarlo(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
+        from repro.approx.montecarlo import naive_monte_carlo_confidence
+
+        epsilon = request.epsilon if request.epsilon is not None else self.epsilon
+        delta = request.delta if request.delta is not None else self.delta
+        seed = request.seed if request.seed is not None else self.seed
+        approximation = naive_monte_carlo_confidence(
+            ws_set, self.world_table, epsilon=epsilon, delta=delta, seed=seed
+        )
+        return ConfidenceResult(
+            approximation.estimate,
+            "montecarlo",
+            request.method,
+            epsilon=epsilon,
+            delta=delta,
+            iterations=approximation.iterations,
+        )
+
+    def _hybrid(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
+        max_calls = (
+            request.max_calls
+            if request.max_calls is not None
+            else self.hybrid_max_calls
+        )
+        time_limit = (
+            request.time_limit
+            if request.time_limit is not None
+            else self.hybrid_time_limit
+        )
+        if max_calls is None and time_limit is None:
+            # An unbounded exact leg would never fall back; install the
+            # default call budget so "hybrid" always means "bounded exact".
+            max_calls = DEFAULT_HYBRID_MAX_CALLS
+        try:
+            exact_request = replace(
+                request, max_calls=max_calls, time_limit=time_limit
+            )
+            result = self._exact(ws_set, exact_request)
+            result.requested_method = request.method
+            return result
+        except BudgetExceededError as exceeded:
+            fallback = self._karp_luby(ws_set, request)
+            fallback.fell_back = True
+            fallback.fallback_reason = str(exceeded)
+            return fallback
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+    def _require_database(self) -> "ProbabilisticDatabase":
+        if self._database is None:
+            raise QueryError(
+                "this session is bound to a bare world table; "
+                "bind a ProbabilisticDatabase to execute SQL or name relations"
+            )
+        return self._database
+
+    def _as_relation(self, target: "URelation | str") -> URelation:
+        if isinstance(target, URelation):
+            return target
+        return self._require_database().relation(target)
+
+    def _as_wsset(self, target: "WSSet | URelation | str") -> WSSet:
+        if isinstance(target, WSSet):
+            return target
+        if isinstance(target, URelation):
+            return target.descriptors()
+        if isinstance(target, str):
+            return self._require_database().relation(target).descriptors()
+        raise TypeError(f"cannot interpret {target!r} as a confidence target")
+
+    def __repr__(self) -> str:
+        bound = repr(self._database) if self._database is not None else "world table"
+        stats = self.statistics()
+        return (
+            f"Session({bound}, {stats.computations} computations, "
+            f"{stats.memo_hits} memo hits)"
+        )
+
+
+class AsyncSession:
+    """Async facade over a :class:`Session` (the async executor surface).
+
+    Every method mirrors its synchronous counterpart and runs it on a
+    dedicated single worker thread, so the event loop stays responsive during
+    long exact computations.  Calls serialise on that worker — the shared
+    engine (one memo cache, one budget) is the whole point of a session, and
+    a one-thread executor keeps its state consistent without parking one
+    pool thread per queued call the way a lock around ``asyncio.to_thread``
+    would: a large ``gather`` batch queues inside the executor instead of
+    exhausting the interpreter-wide default thread pool.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-session"
+        )
+
+    async def _run(self, function, /, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, lambda: function(*args, **kwargs)
+        )
+
+    def close(self) -> None:
+        """Shut down the worker thread (queued calls still complete)."""
+        self._executor.shutdown(wait=True)
+
+    async def query(self, request: ConfidenceRequest) -> ConfidenceResult:
+        return await self._run(self.session.query, request)
+
+    async def confidence(
+        self, target: "WSSet | URelation | str", method: str = "exact", **options
+    ) -> ConfidenceResult:
+        return await self._run(self.session.confidence, target, method, **options)
+
+    async def confidence_many(
+        self,
+        targets: "Sequence[WSSet | URelation | str | ConfidenceRequest]",
+        method: str = "exact",
+        **options,
+    ) -> list[ConfidenceResult]:
+        """``asyncio.gather`` over one :meth:`confidence` task per target."""
+
+        async def one(target):
+            if isinstance(target, ConfidenceRequest):
+                return await self.query(target)
+            return await self.confidence(target, method, **options)
+
+        return list(await asyncio.gather(*(one(target) for target in targets)))
+
+    async def confidence_batch(
+        self, relation: "URelation | str", method: str = "exact", **options
+    ) -> list[ConfidenceRow]:
+        return await self._run(
+            self.session.confidence_batch, relation, method, **options
+        )
+
+    async def certain_tuples(self, relation: "URelation | str", **options) -> list[tuple]:
+        return await self._run(self.session.certain_tuples, relation, **options)
+
+    async def possible_tuples(
+        self, relation: "URelation | str", **options
+    ) -> list[ConfidenceRow]:
+        return await self._run(self.session.possible_tuples, relation, **options)
+
+    async def execute(self, sql: str) -> "QueryResult":
+        return await self._run(self.session.execute, sql)
+
+    async def execute_script(self, sql: str) -> "list[QueryResult]":
+        return await self._run(self.session.execute_script, sql)
+
+    def statistics(self) -> EngineStats:
+        return self.session.statistics()
+
+    def __repr__(self) -> str:
+        return f"AsyncSession({self.session!r})"

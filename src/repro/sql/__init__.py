@@ -17,7 +17,7 @@ Entry point: :func:`repro.sql.executor.execute` (re-exported here).
 
 from repro.sql.lexer import tokenize, Token, TokenType
 from repro.sql.parser import parse
-from repro.sql.executor import execute, QueryResult
+from repro.sql.executor import execute, execute_script, split_statements, QueryResult
 
 __all__ = [
     "tokenize",
@@ -25,5 +25,7 @@ __all__ = [
     "TokenType",
     "parse",
     "execute",
+    "execute_script",
+    "split_statements",
     "QueryResult",
 ]
