@@ -1,0 +1,265 @@
+"""Interned substrate: conditioning + Karp-Luby before/after, numpy sweep.
+
+Three measurements around the interned-substrate work:
+
+* **Conditioning** — the Figure 8 ``assert[B]`` recursion on Figure 11a-style
+  #P-hard instances (n=16, r=2, s=4; the ws-set's own descriptors double as
+  the tuples to rewrite), comparing
+
+  - ``cond-legacy``          — plain-dict recursion + legacy dict engine for
+                               the delegated confidence subproblems (the
+                               pre-interning path);
+  - ``cond-legacy+interned`` — plain-dict recursion + interned delegate (the
+                               default before this change);
+  - ``cond-interned``        — the frame-stack recursion over packed ints
+                               with lazy rewrite trees (the new default).
+
+* **Karp-Luby** — fixed-draw-count estimation on the same instance family,
+  ``kl-legacy`` (plain-dict sampler) versus ``kl-interned`` (packed clauses,
+  cumulative-weight clause selection, dense value-id worlds).
+
+* **Numpy threshold** — exact confidence on a large single-component
+  instance (n=40, r=2, s=3) across ``ExactConfig.numpy_threshold`` settings,
+  recording where the vectorised minlog / ⊕-weight folds start to pay.
+
+Run directly to print the tables and record ``BENCH_interned_substrate.json``
+(including the conditioning and Karp-Luby speedups) at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_interned_substrate.py
+
+``--quick`` runs a scaled-down smoke version (used by CI to catch perf-path
+regressions loudly) and only writes a report when ``--out PATH`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.approx.karp_luby import KarpLubyEstimator
+from repro.bench.reporting import format_sweep_result, sweep_to_dict, write_sweep_json
+from repro.bench.runner import SweepResult, run_sweep
+from repro.core.conditioning import condition_wsset
+from repro.core.probability import ExactConfig, probability
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+
+REPORT_NAME = "BENCH_interned_substrate.json"
+TIME_LIMIT = 300.0
+
+CONDITIONING_SIZES = (32, 64, 128)
+KL_SIZES = (64, 128, 256)
+KL_DRAWS = 20_000
+THRESHOLDS = (None, 8, 24, 64)
+
+QUICK_CONDITIONING_SIZES = (16, 32)
+QUICK_KL_SIZES = (32, 64)
+QUICK_KL_DRAWS = 2_000
+
+
+def _figure11a_instances(sizes):
+    instances = []
+    for size in sizes:
+        parameters = HardCaseParameters(
+            num_variables=16, alternatives=2, descriptor_length=4,
+            num_descriptors=size, seed=0,
+        )
+        instance = generate_hard_instance(parameters)
+        instances.append((size, instance.ws_set, instance.world_table))
+    return instances
+
+
+def _kl_instances(sizes):
+    instances = []
+    for size in sizes:
+        parameters = HardCaseParameters(
+            num_variables=64, alternatives=2, descriptor_length=4,
+            num_descriptors=size, seed=0,
+        )
+        instance = generate_hard_instance(parameters)
+        instances.append((size, instance.ws_set, instance.world_table))
+    return instances
+
+
+def _conditioning_method(implementation: str, config: ExactConfig):
+    def run(ws_set, world_table) -> float:
+        tuples = [(index, descriptor) for index, descriptor in enumerate(ws_set)]
+        result = condition_wsset(
+            ws_set, tuples, world_table, config, implementation=implementation
+        )
+        return result.confidence
+
+    return run
+
+
+def _karp_luby_method(interned: bool, draws: int):
+    def run(ws_set, world_table) -> float:
+        estimator = KarpLubyEstimator(ws_set, world_table, seed=0, interned=interned)
+        return estimator.estimate(draws).estimate
+
+    return run
+
+
+def run_conditioning_sweep(sizes=CONDITIONING_SIZES, repeats=3) -> SweepResult:
+    methods = {
+        "cond-legacy": _conditioning_method(
+            "legacy", ExactConfig(engine="legacy", time_limit=TIME_LIMIT)
+        ),
+        "cond-legacy+interned": _conditioning_method(
+            "legacy", ExactConfig(time_limit=TIME_LIMIT)
+        ),
+        "cond-interned": _conditioning_method(
+            "interned", ExactConfig(time_limit=TIME_LIMIT)
+        ),
+    }
+    return run_sweep(
+        "Conditioning on the interned substrate (Figure 11a workload: n=16, r=2, s=4)",
+        "ws-set size",
+        _figure11a_instances(sizes),
+        methods,
+        repeats=repeats,
+        time_limit=TIME_LIMIT,
+    )
+
+
+def run_karp_luby_sweep(sizes=KL_SIZES, draws=KL_DRAWS, repeats=3) -> SweepResult:
+    methods = {
+        "kl-legacy": _karp_luby_method(False, draws),
+        "kl-interned": _karp_luby_method(True, draws),
+    }
+    return run_sweep(
+        f"Karp-Luby sampling substrate ({draws} draws; n=64, r=2, s=4)",
+        "ws-set size",
+        _kl_instances(sizes),
+        methods,
+        repeats=repeats,
+    )
+
+
+def run_threshold_sweep(quick: bool = False, repeats=3) -> SweepResult:
+    if quick:
+        parameters = HardCaseParameters(
+            num_variables=32, alternatives=2, descriptor_length=3,
+            num_descriptors=64, seed=1,
+        )
+    else:
+        parameters = HardCaseParameters(
+            num_variables=40, alternatives=2, descriptor_length=3,
+            num_descriptors=120, seed=1,
+        )
+    instance = generate_hard_instance(parameters)
+    instances = [(parameters.num_descriptors, instance.ws_set, instance.world_table)]
+    methods = {
+        f"numpy_threshold={threshold}": (
+            lambda ws_set, world_table, threshold=threshold: probability(
+                ws_set,
+                world_table,
+                ExactConfig(numpy_threshold=threshold, time_limit=TIME_LIMIT),
+            )
+        )
+        for threshold in THRESHOLDS
+    }
+    return run_sweep(
+        f"Numpy fold-threshold sweep ({parameters.label()})",
+        "ws-set size",
+        instances,
+        methods,
+        repeats=repeats,
+        time_limit=TIME_LIMIT,
+    )
+
+
+def speedup(result: SweepResult, baseline: str, contender: str) -> dict:
+    """Per-size and overall ``baseline seconds / contender seconds`` ratios."""
+    base = {p.x: p.seconds for p in result.series_by_method(baseline).points}
+    new = {p.x: p.seconds for p in result.series_by_method(contender).points}
+    per_size = {
+        f"{x:g}": round(base[x] / new[x], 3) for x in sorted(base) if new.get(x)
+    }
+    total_base = sum(base.values())
+    total_new = sum(new.values())
+    return {
+        "baseline": baseline,
+        "contender": contender,
+        "per_size": per_size,
+        "overall": round(total_base / total_new, 3) if total_new else float("nan"),
+        "baseline_total_seconds": round(total_base, 6),
+        "contender_total_seconds": round(total_new, 6),
+    }
+
+
+def main(argv=None) -> Path | None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down smoke run (CI); writes a report only with --out",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="report path override")
+    arguments = parser.parse_args(argv)
+
+    if arguments.quick:
+        # Median of three keeps the conditioning ratio stable on noisy CI
+        # runners (the absolute quick-size times are only tens of ms).
+        conditioning = run_conditioning_sweep(QUICK_CONDITIONING_SIZES, repeats=3)
+        karp_luby = run_karp_luby_sweep(QUICK_KL_SIZES, QUICK_KL_DRAWS, repeats=1)
+        threshold = run_threshold_sweep(quick=True, repeats=1)
+    else:
+        conditioning = run_conditioning_sweep()
+        karp_luby = run_karp_luby_sweep()
+        threshold = run_threshold_sweep()
+
+    conditioning_speedup = speedup(conditioning, "cond-legacy", "cond-interned")
+    conditioning_speedup_pre_pr = speedup(
+        conditioning, "cond-legacy+interned", "cond-interned"
+    )
+    karp_luby_speedup = speedup(karp_luby, "kl-legacy", "kl-interned")
+
+    for result in (conditioning, karp_luby, threshold):
+        print(format_sweep_result(result))
+        print()
+    print(
+        f"conditioning interned-vs-legacy speedup: overall "
+        f"{conditioning_speedup['overall']}x "
+        f"(vs legacy-recursion+interned-delegate: "
+        f"{conditioning_speedup_pre_pr['overall']}x)"
+    )
+    print(f"karp-luby interned-vs-legacy speedup: overall {karp_luby_speedup['overall']}x")
+
+    path = arguments.out
+    if path is None:
+        if arguments.quick:
+            return None
+        path = Path(__file__).resolve().parent.parent / REPORT_NAME
+    written = write_sweep_json(
+        conditioning,
+        path,
+        extra={
+            "workload": {
+                "conditioning": {
+                    "figure": "11a", "num_variables": 16, "alternatives": 2,
+                    "descriptor_length": 4, "sizes": list(
+                        QUICK_CONDITIONING_SIZES if arguments.quick
+                        else CONDITIONING_SIZES
+                    ),
+                },
+                "karp_luby": {
+                    "num_variables": 64, "alternatives": 2, "descriptor_length": 4,
+                    "draws": QUICK_KL_DRAWS if arguments.quick else KL_DRAWS,
+                    "sizes": list(QUICK_KL_SIZES if arguments.quick else KL_SIZES),
+                },
+                "quick": arguments.quick,
+            },
+            "karp_luby": sweep_to_dict(karp_luby),
+            "numpy_threshold": sweep_to_dict(threshold),
+            "speedup": {
+                "conditioning": conditioning_speedup,
+                "conditioning_vs_interned_delegate": conditioning_speedup_pre_pr,
+                "karp_luby": karp_luby_speedup,
+            },
+        },
+    )
+    print(f"wrote {written}")
+    return written
+
+
+if __name__ == "__main__":
+    main()

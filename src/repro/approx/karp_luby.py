@@ -15,12 +15,26 @@ paper uses because it converges faster than the original 1983 estimator).
 Its expectation is exactly the confidence.  Dividing by ``Z`` gives a 0/1
 variable, so the estimator can be driven by the optimal stopping rule of
 Dagum, Karp, Luby and Ross exactly as in the paper's ``kl(ε)`` baseline.
+
+Sampling substrate
+------------------
+By default the estimator runs on the **interned** representation of the world
+table (:meth:`~repro.db.world_table.WorldTable.interned`): clauses are sorted
+tuples of packed ``(variable_id << shift) | value_id`` ints, clause selection
+walks a precomputed cumulative-weight array, worlds are ``variable_id ->
+value_id`` maps sampled through per-variable cumulative arrays, and the
+"is ``j`` the first covering clause" test is a scan over packed ints — no
+string hashing, no per-draw distribution dict rebuilds.  The pre-interning
+plain-dict sampler is kept behind ``interned=False`` as an ablation baseline
+for ``benchmarks/bench_interned_substrate.py``.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import TYPE_CHECKING
 
 from repro.approx.stopping import (
@@ -34,6 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import Variable, WorldTable
 else:
     Variable = object
+
+#: Clause counts at which the interned estimator computes the clause-weight
+#: products with the numpy kernel of :mod:`repro.core.vector` (when numpy is
+#: installed) instead of a python loop.
+_VECTOR_WEIGHTS_THRESHOLD = 32
 
 
 @dataclass
@@ -51,8 +70,9 @@ class KarpLubyEstimator:
     """Reusable Karp-Luby estimator for one ws-set over one world table.
 
     Construction pre-computes the clause weights, the cumulative distribution
-    used for clause sampling, and the per-variable index of descriptors needed
-    for the fast "is ``j`` the first covering clause" test.
+    used for clause sampling, and (on the interned substrate) the packed
+    clause tuples and per-variable cumulative weight arrays needed for the
+    fast "is ``j`` the first covering clause" test.
     """
 
     def __init__(
@@ -62,6 +82,7 @@ class KarpLubyEstimator:
         *,
         seed: int | None = None,
         estimator: str = "first-clause",
+        interned: bool = True,
     ) -> None:
         if estimator not in ("first-clause", "coverage"):
             raise ValueError(
@@ -69,18 +90,82 @@ class KarpLubyEstimator:
             )
         self.world_table = world_table
         self.estimator = estimator
+        self.interned = interned
         self.rng = random.Random(seed)
-        self.descriptors = [dict(d.items()) for d in ws_set]
-        self.weights = [d.probability(world_table) for d in ws_set]
+        if interned:
+            self._setup_interned(ws_set, world_table)
+            self._clause_count = len(self._clauses)
+            self._trivially_true = any(not clause for clause in self._clauses)
+        else:
+            # The plain-dict clause copies are only needed by the legacy
+            # sampling internals; the interned substrate never builds them.
+            self.descriptors = [dict(d.items()) for d in ws_set]
+            self._clause_count = len(self.descriptors)
+            self._trivially_true = any(not d for d in self.descriptors)
+            self.weights = [d.probability(world_table) for d in ws_set]
+            variables: set = set()
+            for descriptor in self.descriptors:
+                variables.update(descriptor)
+            #: Variables relevant to the event; all others integrate out.
+            self.variables: tuple = tuple(
+                v for v in world_table.variables if v in variables
+            )
         self.total_weight = float(sum(self.weights))
-        variables: set = set()
-        for descriptor in self.descriptors:
-            variables.update(descriptor)
-        #: Variables relevant to the event; all others integrate out.
-        self.variables: tuple = tuple(
-            v for v in world_table.variables if v in variables
-        )
-        self._trivially_true = any(not d for d in self.descriptors)
+        self._cumulative_weights = list(accumulate(self.weights))
+
+    def _setup_interned(self, ws_set: WSSet, world_table: "WorldTable") -> None:
+        space = world_table.interned()
+        self._space = space
+        self._shift = space.shift
+        self._value_mask = space.mask
+        clauses = []
+        for descriptor in ws_set:
+            packed = space.intern_items(descriptor.items())
+            if packed is None:
+                # Out-of-domain assignment: the clause holds in no world and
+                # carries weight zero, so it is never sampled and never covers.
+                continue
+            clauses.append(packed)
+        self._clauses: list[tuple] = clauses
+        self.weights = self._clause_weights(clauses, space)
+        # Relevant variables (dense ids, ascending = world-table order) and
+        # their cumulative weight arrays for O(log r) value sampling.
+        relevant = sorted({p >> self._shift for clause in clauses for p in clause})
+        self._relevant_ids = relevant
+        self._cumulative_by_id: dict[int, list[float]] = {
+            variable_id: list(accumulate(space.weights[variable_id]))
+            for variable_id in relevant
+        }
+        self.variables = tuple(space.variables[i] for i in relevant)
+
+    @staticmethod
+    def _clause_weights(clauses: list[tuple], space) -> list[float]:
+        """``P(d)`` per packed clause (numpy-folded for large clause sets)."""
+        if len(clauses) >= _VECTOR_WEIGHTS_THRESHOLD:
+            from repro.core.vector import (
+                HAVE_NUMPY,
+                descriptor_weights,
+                flatten_weights,
+            )
+
+            if HAVE_NUMPY:
+                table = flatten_weights(space.weights, space.mask)
+                return [
+                    float(w)
+                    for w in descriptor_weights(
+                        clauses, space.shift, space.mask, table
+                    )
+                ]
+        shift = space.shift
+        mask = space.mask
+        weights = space.weights
+        products = []
+        for clause in clauses:
+            product = 1.0
+            for packed in clause:
+                product *= weights[packed >> shift][packed & mask]
+            products.append(product)
+        return products
 
     # ------------------------------------------------------------------
     # Sampling primitives
@@ -91,11 +176,15 @@ class KarpLubyEstimator:
         Multiply by :attr:`total_weight` to get the unnormalised Karp-Luby
         variable whose expectation is the confidence.
         """
-        if not self.descriptors or self.total_weight == 0.0:
+        if not self._clause_count or self.total_weight == 0.0:
             return 0.0
         if self._trivially_true:
             return 1.0 / self.total_weight if self.total_weight else 0.0
         clause_index = self._sample_clause()
+        if self.interned:
+            if self.estimator == "first-clause":
+                return 1.0 if self._is_first_covering_interned(clause_index) else 0.0
+            return 1.0 / self._coverage_count_interned(clause_index)
         if self.estimator == "first-clause":
             # Only the variables of clauses 0..clause_index-1 can influence the
             # outcome, so sample them lazily: the expected per-iteration cost
@@ -109,7 +198,7 @@ class KarpLubyEstimator:
         """Average ``iterations`` draws of the (unnormalised) estimator."""
         if iterations <= 0:
             raise ValueError("iterations must be positive")
-        if not self.descriptors:
+        if not self._clause_count:
             return ApproximationResult(0.0, 0, method=self._method_name())
         total = sum(self.sample_once() for _ in range(iterations))
         estimate = self.total_weight * total / iterations
@@ -117,7 +206,7 @@ class KarpLubyEstimator:
 
     def estimate_with_bound(self, epsilon: float, delta: float) -> ApproximationResult:
         """(ε, δ)-approximation with the classic fixed Karp-Luby iteration bound."""
-        iterations = karp_luby_iteration_bound(len(self.descriptors), epsilon, delta)
+        iterations = karp_luby_iteration_bound(self._clause_count, epsilon, delta)
         if iterations == 0:
             return ApproximationResult(0.0, 0, epsilon, delta, self._method_name())
         result = self.estimate(iterations)
@@ -138,7 +227,7 @@ class KarpLubyEstimator:
         the stopping rule determines a sufficient number of iterations (within
         a constant factor from optimal) from the observed samples themselves.
         """
-        if not self.descriptors or self.total_weight == 0.0:
+        if not self._clause_count or self.total_weight == 0.0:
             return ApproximationResult(0.0, 0, epsilon, delta, self._method_name())
         rule: StoppingRuleResult = optimal_stopping_rule(
             self.sample_once, epsilon, delta, max_iterations=max_iterations
@@ -152,14 +241,78 @@ class KarpLubyEstimator:
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals — shared
     # ------------------------------------------------------------------
     def _method_name(self) -> str:
         return f"karp-luby[{self.estimator}]"
 
     def _sample_clause(self) -> int:
-        return self.rng.choices(range(len(self.descriptors)), weights=self.weights, k=1)[0]
+        """One clause index, proportional to clause weight (cumulative walk)."""
+        cumulative = self._cumulative_weights
+        return bisect(
+            cumulative,
+            self.rng.random() * cumulative[-1],
+            0,
+            len(cumulative) - 1,
+        )
 
+    # ------------------------------------------------------------------
+    # Internals — interned substrate
+    # ------------------------------------------------------------------
+    def _sample_value_id(self, variable_id: int) -> int:
+        """Sample one value id of a variable through its cumulative weights."""
+        cumulative = self._cumulative_by_id[variable_id]
+        return bisect(
+            cumulative,
+            self.rng.random() * cumulative[-1],
+            0,
+            len(cumulative) - 1,
+        )
+
+    def _is_first_covering_interned(self, clause_index: int) -> bool:
+        """Sample a world from P(· | clause) lazily; is the clause the first covering one?"""
+        shift = self._shift
+        value_mask = self._value_mask
+        clauses = self._clauses
+        clause = clauses[clause_index]
+        world = {p >> shift: p & value_mask for p in clause}
+        sample = self._sample_value_id
+        for index in range(clause_index):
+            for p in clauses[index]:
+                variable_id = p >> shift
+                assigned = world.get(variable_id)
+                if assigned is None:
+                    assigned = sample(variable_id)
+                    world[variable_id] = assigned
+                if assigned != p & value_mask:
+                    break
+            else:
+                return False
+        return True
+
+    def _coverage_count_interned(self, clause_index: int) -> int:
+        """Number of clauses covering a full world sampled from P(· | clause)."""
+        shift = self._shift
+        value_mask = self._value_mask
+        clause = self._clauses[clause_index]
+        world = {p >> shift: p & value_mask for p in clause}
+        for variable_id in self._relevant_ids:
+            if variable_id not in world:
+                world[variable_id] = self._sample_value_id(variable_id)
+        count = 0
+        for candidate in self._clauses:
+            for p in candidate:
+                if world[p >> shift] != p & value_mask:
+                    break
+            else:
+                count += 1
+        if count == 0:
+            raise AssertionError("sampled world is not covered by any clause")
+        return count
+
+    # ------------------------------------------------------------------
+    # Internals — legacy plain-dict substrate (ablation baseline)
+    # ------------------------------------------------------------------
     def _sample_world(self, clause: dict) -> dict:
         world = dict(clause)
         for variable in self.variables:
@@ -213,6 +366,7 @@ def karp_luby_confidence(
     use_optimal_stopping: bool = True,
     estimator: str = "first-clause",
     max_iterations: int | None = 2_000_000,
+    interned: bool = True,
 ) -> ApproximationResult:
     """One-shot (ε, δ)-approximate confidence of a ws-set.
 
@@ -221,11 +375,14 @@ def karp_luby_confidence(
     otherwise the classic ``⌈4 m ln(2/δ)/ε²⌉`` bound is used.
     ``max_iterations`` caps the work of the stopping rule (the observed sample
     mean is returned when the cap is hit), analogous to the wall-clock caps
-    the paper places on its experiments.
+    the paper places on its experiments.  ``interned=False`` selects the
+    pre-interning plain-dict sampler (ablation baseline).
     """
     if ws_set.contains_universal:
         return ApproximationResult(1.0, 0, epsilon, delta, "karp-luby")
-    kl = KarpLubyEstimator(ws_set, world_table, seed=seed, estimator=estimator)
+    kl = KarpLubyEstimator(
+        ws_set, world_table, seed=seed, estimator=estimator, interned=interned
+    )
     if use_optimal_stopping:
         return kl.estimate_optimal(epsilon, delta, max_iterations=max_iterations)
     return kl.estimate_with_bound(epsilon, delta)

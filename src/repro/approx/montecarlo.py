@@ -6,11 +6,19 @@ FPRAS — the relative error blows up for low-confidence events because almost
 all samples miss — but it is a useful sanity baseline and is cheap when the
 confidence is large (which is exactly the regime of Figure 11(b), where the
 answer confidence is close to one).
+
+Like the Karp-Luby estimator, the sampler runs on the interned substrate by
+default: worlds are sampled as dense ``variable_id -> value_id`` assignments
+through precomputed cumulative weight arrays and satisfaction is a scan over
+packed int tuples.  ``interned=False`` keeps the historical plain-dict
+sampling for ablation.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect
+from itertools import accumulate
 from typing import TYPE_CHECKING
 
 from repro.approx.karp_luby import ApproximationResult
@@ -29,6 +37,7 @@ def naive_monte_carlo_confidence(
     epsilon: float = 0.05,
     delta: float = 0.05,
     seed: int | None = None,
+    interned: bool = True,
 ) -> ApproximationResult:
     """Estimate the confidence of ``ws_set`` by sampling complete worlds.
 
@@ -44,9 +53,65 @@ def naive_monte_carlo_confidence(
     if iterations is None:
         iterations = zero_one_estimator_iterations(epsilon, delta)
     rng = random.Random(seed)
+
+    if interned:
+        hits = _sample_interned(ws_set, world_table, rng, iterations)
+    else:
+        hits = _sample_legacy(ws_set, world_table, rng, iterations)
+    return ApproximationResult(hits / iterations, iterations, epsilon, delta, "naive-mc")
+
+
+def _sample_interned(
+    ws_set: WSSet, world_table: "WorldTable", rng: random.Random, iterations: int
+) -> int:
+    """Count satisfying worlds over packed descriptors and dense value ids."""
+    space = world_table.interned()
+    shift = space.shift
+    value_mask = space.mask
+    variable_ids = space.variable_ids
+    value_ids = space.value_ids
+    clauses = []
+    for descriptor in ws_set:
+        packed = []
+        for variable, value in descriptor.items():
+            variable_id = variable_ids.get(variable)
+            value_id = None if variable_id is None else value_ids[variable_id].get(value)
+            if value_id is None:
+                # Unknown variable or out-of-domain value: the clause holds in
+                # no sampled world — exactly how the legacy sampler scores it.
+                packed = None
+                break
+            packed.append((variable_id << shift) | value_id)
+        if packed is not None:
+            clauses.append(tuple(packed))
+    if not clauses:
+        return 0
+    relevant = sorted({p >> shift for clause in clauses for p in clause})
+    cumulative = [list(accumulate(space.weights[variable_id])) for variable_id in relevant]
+    random_value = rng.random
+    world: dict[int, int] = {}
+    hits = 0
+    for _ in range(iterations):
+        for variable_id, weights in zip(relevant, cumulative):
+            world[variable_id] = bisect(
+                weights, random_value() * weights[-1], 0, len(weights) - 1
+            )
+        for clause in clauses:
+            for p in clause:
+                if world[p >> shift] != p & value_mask:
+                    break
+            else:
+                hits += 1
+                break
+    return hits
+
+
+def _sample_legacy(
+    ws_set: WSSet, world_table: "WorldTable", rng: random.Random, iterations: int
+) -> int:
+    """The historical plain-dict sampler (ablation baseline)."""
     mentioned = ws_set.variables()
     variables = [v for v in world_table.variables if v in mentioned]
-
     descriptors = [dict(d.items()) for d in ws_set]
     hits = 0
     for _ in range(iterations):
@@ -56,4 +121,4 @@ def naive_monte_carlo_confidence(
             for descriptor in descriptors
         ):
             hits += 1
-    return ApproximationResult(hits / iterations, iterations, epsilon, delta, "naive-mc")
+    return hits

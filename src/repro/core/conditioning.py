@@ -63,7 +63,19 @@ from repro.core.decompose import (
     to_internal,
 )
 from repro.core.descriptors import WSDescriptor, as_descriptor
-from repro.core.heuristics import count_occurrences, make_heuristic
+from repro.core.heuristics import (
+    count_occurrences,
+    make_heuristic,
+    minlog_select_vectorized,
+)
+from repro.core.interned import (
+    InternedEngine,
+    PackedDescriptor,
+    count_occurrences_interned,
+    deduplicate_interned,
+    remove_subsumed_interned,
+    split_on_variable_interned,
+)
 from repro.core.probability import ExactConfig, make_engine
 from repro.core.wsset import WSSet
 from repro.errors import ConditioningError, ZeroProbabilityConditionError
@@ -120,6 +132,7 @@ def condition_wsset(
     drop_singleton_new_variables: bool = True,
     merge_equal_new_variables: bool = True,
     literal_independence_rule: bool = False,
+    implementation: str | None = None,
 ) -> ConditioningResult:
     """Condition a set of tuple descriptors on a condition ws-set (Figure 8).
 
@@ -155,7 +168,18 @@ def condition_wsset(
         every independent component and union the results).  This reproduces
         the paper's Example 5.2 output but does *not* preserve the posterior
         instance distribution in general — see the module docstring.  Off by
-        default.
+        default; forces the legacy implementation.
+    implementation:
+        ``"interned"`` runs the renormalising recursion over packed-int
+        descriptors on an explicit frame stack
+        (:class:`_InternedConditioningEngine`), sharing the
+        :meth:`~repro.db.world_table.WorldTable.interned` id space and the
+        delegate engine's memo; ``"legacy"`` is the original plain-dict
+        recursion, kept for ablation.  ``None`` (the default) derives the
+        implementation from ``config.engine`` — the interned recursion for
+        the default interned engine, the legacy recursion for
+        ``engine="legacy"`` or when ``literal_independence_rule`` is set
+        (the literal Figure 8 ⊗-rule only exists in the legacy engine).
     """
     # Imported here (not at module level) to keep repro.core importable on its
     # own: repro.db.database imports this module in turn.
@@ -170,25 +194,64 @@ def condition_wsset(
             "the condition denotes the empty world-set; the posterior is undefined"
         )
 
-    engine = _ConditioningEngine(
-        world_table,
-        config,
-        prune_unrelated=prune_unrelated,
-        drop_singleton_new_variables=drop_singleton_new_variables,
-        literal_independence_rule=literal_independence_rule,
-    )
-
-    descriptors = deduplicate(to_internal(condition))
-    if config.simplify_subsumed:
-        descriptors = remove_subsumed(descriptors)
-    internal_tuples = [(tag, dict(descriptor.items())) for tag, descriptor in tagged]
-
-    with recursion_guard():
-        confidence, rewritten_internal = engine.run(descriptors, internal_tuples)
-    if confidence <= 0.0:
-        raise ZeroProbabilityConditionError(
-            "the condition has probability zero; the posterior is undefined"
+    if implementation is None:
+        implementation = (
+            "legacy"
+            if config.engine == "legacy" or literal_independence_rule
+            else "interned"
         )
+    elif implementation not in ("interned", "legacy"):
+        raise ValueError(
+            f"unknown conditioning implementation {implementation!r}; "
+            "use 'interned' or 'legacy'"
+        )
+    if implementation == "interned" and literal_independence_rule:
+        raise ValueError(
+            "literal_independence_rule requires implementation='legacy'"
+        )
+
+    if implementation == "interned":
+        engine = _InternedConditioningEngine(
+            world_table,
+            config,
+            prune_unrelated=prune_unrelated,
+            drop_singleton_new_variables=drop_singleton_new_variables,
+        )
+        interned_condition = deduplicate_interned(
+            engine.space.intern_wsset(condition)
+        )
+        if config.simplify_subsumed:
+            interned_condition = remove_subsumed_interned(interned_condition)
+        confidence, rewritten_packed = engine.run(
+            interned_condition, engine.intern_tuples(tagged)
+        )
+        if confidence <= 0.0:
+            raise ZeroProbabilityConditionError(
+                "the condition has probability zero; the posterior is undefined"
+            )
+        rewritten_internal = engine.externalize_tuples(rewritten_packed)
+    else:
+        engine = _ConditioningEngine(
+            world_table,
+            config,
+            prune_unrelated=prune_unrelated,
+            drop_singleton_new_variables=drop_singleton_new_variables,
+            literal_independence_rule=literal_independence_rule,
+        )
+
+        descriptors = deduplicate(to_internal(condition))
+        if config.simplify_subsumed:
+            descriptors = remove_subsumed(descriptors)
+        internal_tuples = [
+            (tag, dict(descriptor.items())) for tag, descriptor in tagged
+        ]
+
+        with recursion_guard():
+            confidence, rewritten_internal = engine.run(descriptors, internal_tuples)
+        if confidence <= 0.0:
+            raise ZeroProbabilityConditionError(
+                "the condition has probability zero; the posterior is undefined"
+            )
 
     delta_rows = engine.new_variable_rows()
     variable_sources = dict(engine.variable_sources)
@@ -445,6 +508,410 @@ class _ConditioningEngine:
     def new_variable_rows(self) -> dict:
         """``new variable -> {value: weight}`` for all created variables."""
         return {variable: dict(dist) for variable, dist in self._new_variables.items()}
+
+
+class _CondFrame:
+    """One suspended ⊕-node of the interned conditioning engine's stack.
+
+    ``branches`` holds the prepared subproblems ``(value_id, weight, subset,
+    branch_tuples)``; ``results`` collects the children's ``(confidence,
+    rewritten)`` pairs in the same order; ``unrelated`` are the tuples pruned
+    at this node, appended unchanged once the node's confidence is known.
+    """
+
+    __slots__ = ("variable_id", "branches", "index", "results", "unrelated", "depth")
+
+    def __init__(self, variable_id, branches, unrelated, depth):
+        self.variable_id = variable_id
+        self.branches = branches
+        self.index = 0
+        self.results = []
+        self.unrelated = unrelated
+        self.depth = depth
+
+
+class _InternedConditioningEngine:
+    """The Figure 8 renormalising recursion over packed-int descriptors.
+
+    The interned counterpart of :class:`_ConditioningEngine`: condition
+    descriptors and tuple descriptors are sorted tuples of packed assignments
+    in the :meth:`WorldTable.interned` id space, the recursion runs on an
+    explicit frame stack (no recursion-limit guard needed), per-tuple and
+    per-node variable sets are arbitrary-precision bitmasks, and the
+    confidence-only subproblems are delegated to a shared
+    :class:`~repro.core.interned.InternedEngine` without leaving the packed
+    representation (one memo cache and one budget for the whole run).
+
+    New variables created by the branch re-weighting extend the id space past
+    the world table's ids: new variable ``base + k`` re-uses its *source*
+    variable's value ids, so the eliminated-variable rewriting is a packed-int
+    swap and externalisation recovers the original domain values.
+
+    The rewriting itself is **lazy**: instead of materialising every
+    rewritten descriptor at every ⊕-node (each tuple is copied once per
+    ancestor in the legacy engine, a multiplicative fan-out), the recursion
+    returns a *rewrite tree* of ``('leaf', records)`` chunks and ``('op',
+    var_bit, new_packed | None, children)`` nodes — an ``op`` means "strip
+    the eliminated variable and (unless rule 2 dropped the new variable)
+    extend with this new assignment, for everything below".  One final walk
+    applies the accumulated strip bitmask and the structurally *shared*
+    new-assignment chain to each surviving record exactly once, so a chain
+    cons happens once per (node, branch) pair instead of once per descriptor
+    per level.
+
+    Tuple descriptors assigning a value outside its variable's domain denote
+    no possible world; they are dropped at interning time (the legacy engine
+    may return such a descriptor syntactically unchanged, which denotes the
+    same empty world-set).  Assignments of variables unknown to the world
+    table ride along untouched, exactly as in the legacy engine.
+    """
+
+    def __init__(
+        self,
+        world_table: WorldTable,
+        config: ExactConfig,
+        *,
+        prune_unrelated: bool,
+        drop_singleton_new_variables: bool,
+    ) -> None:
+        self.world_table = world_table
+        self.config = config
+        self.space = world_table.interned()
+        self.heuristic = make_heuristic(config.heuristic)
+        self.budget = Budget(config.max_calls, config.time_limit)
+        self.stats = DecompositionStats()
+        self.prune_unrelated = prune_unrelated
+        self.drop_singleton_new_variables = drop_singleton_new_variables
+        # One probability engine shared across every delegated confidence-only
+        # subproblem: the budget covers the whole run and the memo cache
+        # persists across delegated calls (many branches leave identical
+        # residual condition ws-sets).
+        self.confidence_engine = InternedEngine(
+            world_table, config, budget=self.budget, record_elimination_order=False
+        )
+        self._minlog_vector_threshold = self.confidence_engine.minlog_vector_threshold
+        # Condition-descriptor variable masks (shared verbatim between nodes).
+        self._condition_masks: dict[PackedDescriptor, int] = {}
+        # New variables: id ``base + k`` with name, source variable id, and
+        # (normalised) value_id -> weight distribution at index ``k``.
+        self._base = len(self.space.variables)
+        self._extended_names: list = []
+        self._extended_sources: list[int] = []
+        self._extended_distributions: list[dict] = []
+        self._new_names: set = set()
+        self._fresh_counter = 0
+        # source variable id -> number of primes already handed out, so fresh
+        # string names extend from the last one instead of rescanning.
+        self._prime_counts: dict[int, int] = {}
+
+    # -- interning --------------------------------------------------------
+    def intern_tuples(self, tagged) -> list[tuple]:
+        """Intern ``(tag, WSDescriptor)`` pairs into the engine's record form.
+
+        Returns ``(tag, original, mask, alien)`` records: ``original`` packs
+        the assignments of world-table variables, ``mask`` is their variable
+        bitmask, ``alien`` (or ``None``) holds assignments of variables the
+        world table does not know — they can never meet an eliminated
+        variable and are merged back at externalisation.  Pairs whose
+        descriptor assigns an out-of-domain value are dropped (they denote no
+        world).  Records are immutable: the recursion passes them through
+        unchanged and all rewriting happens in the final
+        :meth:`externalize_tuples` walk.
+        """
+        space = self.space
+        variable_ids = space.variable_ids
+        value_ids = space.value_ids
+        shift = space.shift
+        interned = []
+        for tag, descriptor in tagged:
+            packed: list[int] = []
+            mask = 0
+            alien: dict | None = None
+            dead = False
+            for variable, value in descriptor.items():
+                variable_id = variable_ids.get(variable)
+                if variable_id is None:
+                    if alien is None:
+                        alien = {}
+                    alien[variable] = value
+                    continue
+                value_id = value_ids[variable_id].get(value)
+                if value_id is None:
+                    dead = True
+                    break
+                packed.append((variable_id << shift) | value_id)
+                mask |= 1 << variable_id
+            if dead:
+                continue
+            packed.sort()
+            interned.append((tag, tuple(packed), mask, alien))
+        return interned
+
+    def externalize_tuples(self, chunks) -> list[tuple]:
+        """Walk a rewrite tree once, emitting ``(tag, dict)`` pairs.
+
+        The walk threads the accumulated eliminated-variable bitmask and the
+        shared new-assignment chain down the tree; each surviving record is
+        touched exactly once.
+        """
+        space = self.space
+        shift = space.shift
+        value_mask = space.mask
+        base = self._base
+        variables = space.variables
+        values = space.values
+        extended_names = self._extended_names
+        extended_sources = self._extended_sources
+        out = []
+        stack = [(chunk, 0, None) for chunk in reversed(chunks)]
+        while stack:
+            chunk, strip_mask, chain = stack.pop()
+            if chunk[0] == "leaf":
+                for tag, original, mask, alien in chunk[1]:
+                    descriptor: dict = {}
+                    for p in original:
+                        variable_id = p >> shift
+                        if (strip_mask >> variable_id) & 1:
+                            continue
+                        descriptor[variables[variable_id]] = values[variable_id][
+                            p & value_mask
+                        ]
+                    link = chain
+                    while link is not None:
+                        p, link = link
+                        index = (p >> shift) - base
+                        descriptor[extended_names[index]] = values[
+                            extended_sources[index]
+                        ][p & value_mask]
+                    if alien:
+                        descriptor.update(alien)
+                    out.append((tag, descriptor))
+            else:
+                _, var_bit, new_packed, children = chunk
+                strip_mask |= var_bit
+                if new_packed is not None:
+                    chain = (new_packed, chain)
+                for child in reversed(children):
+                    stack.append((child, strip_mask, chain))
+        return out
+
+    # -- public entry point ----------------------------------------------
+    def run(self, descriptors, tuples):
+        """Condition ``tuples`` on the interned ws-set ``descriptors``."""
+        stack: list[_CondFrame] = []
+        result = self._step(descriptors, tuples, 0, stack)
+        while stack:
+            frame = stack[-1]
+            if result is not None:
+                frame.results.append(result)
+            if frame.index < len(frame.branches):
+                _, _, subset, branch_tuples = frame.branches[frame.index]
+                frame.index += 1
+                result = self._step(subset, branch_tuples, frame.depth + 1, stack)
+            else:
+                stack.pop()
+                result = self._finish(frame)
+        return result
+
+    # -- the iterative recursion ------------------------------------------
+    def _step(self, descriptors, tuples, depth, stack):
+        """Resolve a node to ``(confidence, rewritten)`` or push an ⊕-frame."""
+        self.budget.tick()
+        stats = self.stats
+        stats.recursive_calls += 1
+        if depth > stats.max_depth:
+            stats.max_depth = depth
+
+        if not descriptors:
+            stats.bottom_nodes += 1
+            return 0.0, []
+        if () in descriptors:
+            # The ∅ leaf: the whole (remaining) world-set survives, no
+            # re-weighting is necessary and the tuples pass through unchanged.
+            stats.leaf_nodes += 1
+            return 1.0, [("leaf", tuples)]
+
+        if self.config.subsumption_every_step:
+            descriptors = remove_subsumed_interned(descriptors)
+
+        if self.prune_unrelated:
+            shift = self.space.shift
+            masks = self._condition_masks
+            condition_mask = 0
+            for descriptor in descriptors:
+                descriptor_mask = masks.get(descriptor)
+                if descriptor_mask is None:
+                    descriptor_mask = 0
+                    for p in descriptor:
+                        descriptor_mask |= 1 << (p >> shift)
+                    masks[descriptor] = descriptor_mask
+                condition_mask |= descriptor_mask
+            related = [t for t in tuples if t[2] & condition_mask]
+            if not related:
+                # Nothing left to rewrite below this point: only the branch
+                # confidence matters, so delegate to the shared exact engine.
+                confidence = self.confidence_engine.compute_interned(descriptors)
+                return confidence, [("leaf", tuples)]
+            unrelated = [t for t in tuples if not (t[2] & condition_mask)]
+            self._push_eliminate(descriptors, related, unrelated, depth, stack)
+            return None
+
+        self._push_eliminate(descriptors, tuples, [], depth, stack)
+        return None
+
+    def _push_eliminate(self, descriptors, tuples, unrelated, depth, stack):
+        """⊕-node: pick a variable, prepare its branches, push the frame."""
+        space = self.space
+        shift = space.shift
+        stats = self.stats
+        occurrences = count_occurrences_interned(descriptors, shift, space.mask)
+        if self.prune_unrelated and tuples:
+            # Prefer eliminating variables the remaining tuples depend on, so
+            # that the rewriting spine stays short and the rest of the
+            # condition can be delegated to the confidence-only engine.
+            tuple_mask = 0
+            for t in tuples:
+                tuple_mask |= t[2]
+            shared = {
+                variable_id: counts
+                for variable_id, counts in occurrences.items()
+                if (tuple_mask >> variable_id) & 1
+            }
+            if shared:
+                occurrences = shared
+        if len(occurrences) == 1:
+            variable_id = next(iter(occurrences))
+        elif (
+            self._minlog_vector_threshold is not None
+            and len(occurrences) >= self._minlog_vector_threshold
+        ):
+            variable_id = minlog_select_vectorized(
+                occurrences, len(descriptors), space
+            )
+        else:
+            variable_id = self.heuristic.select_variable(
+                occurrences, len(descriptors), space
+            )
+        stats.eliminated_variables.append(space.variables[variable_id])
+        stats.variable_nodes += 1
+        by_value, unmentioned = split_on_variable_interned(
+            descriptors, variable_id, shift
+        )
+
+        var_bit = 1 << variable_id
+        low = variable_id << shift
+        branches = []
+        for value_id, weight in enumerate(space.weights[variable_id]):
+            if weight == 0.0:
+                continue
+            branch = by_value.get(value_id)
+            if branch is not None:
+                if unmentioned:
+                    branch_set = set(branch)
+                    subset = branch + [t for t in unmentioned if t not in branch_set]
+                else:
+                    subset = branch
+            else:
+                subset = unmentioned
+            if not subset:
+                # ⊥ branch: no surviving world assigns this value.
+                continue
+            target = low | value_id
+            branch_tuples = []
+            for t in tuples:
+                if t[2] & var_bit:
+                    for p in t[1]:
+                        if p >> shift == variable_id:
+                            if p == target:
+                                branch_tuples.append(t)
+                            break
+                else:
+                    branch_tuples.append(t)
+            branches.append((value_id, weight, subset, branch_tuples))
+        stack.append(_CondFrame(variable_id, branches, unrelated, depth))
+
+    def _finish(self, frame: _CondFrame):
+        """Fold a completed ⊕-frame: renormalise and emit rewrite-tree ops."""
+        shift = self.space.shift
+        variable_id = frame.variable_id
+        var_bit = 1 << variable_id
+
+        node_confidence = 0.0
+        surviving = []
+        for (value_id, weight, _subset, _tuples), (confidence, rewritten) in zip(
+            frame.branches, frame.results
+        ):
+            node_confidence += weight * confidence
+            if confidence > 0.0:
+                surviving.append((value_id, weight, confidence, rewritten))
+        if node_confidence == 0.0:
+            return 0.0, []
+
+        if self.drop_singleton_new_variables and len(surviving) == 1:
+            # Simplification rule 2: a single surviving alternative would get
+            # weight one; drop the new variable entirely and just strip the
+            # eliminated variable from the rewritten descriptors.
+            chunks = [("op", var_bit, None, surviving[0][3])]
+        else:
+            new_id = self._fresh_variable(variable_id)
+            distribution = self._extended_distributions[new_id - self._base]
+            chunks = []
+            for value_id, weight, confidence, branch_rewritten in surviving:
+                distribution[value_id] = weight * confidence / node_confidence
+                chunks.append(
+                    ("op", var_bit, (new_id << shift) | value_id, branch_rewritten)
+                )
+        if frame.unrelated:
+            chunks.append(("leaf", frame.unrelated))
+        return node_confidence, chunks
+
+    # -- new-variable bookkeeping ----------------------------------------
+    def _fresh_variable(self, source_id: int) -> int:
+        """Allocate a fresh variable id derived from the source variable."""
+        source = self.space.variables[source_id]
+        if isinstance(source, str):
+            primes = self._prime_counts.get(source_id, 0) + 1
+            candidate = source + "'" * primes
+            while candidate in self.world_table or candidate in self._new_names:
+                primes += 1
+                candidate += "'"
+            self._prime_counts[source_id] = primes
+        else:
+            self._fresh_counter += 1
+            candidate = (source, "prime", self._fresh_counter)
+            while candidate in self.world_table or candidate in self._new_names:
+                self._fresh_counter += 1
+                candidate = (source, "prime", self._fresh_counter)
+        self._new_names.add(candidate)
+        new_id = self._base + len(self._extended_names)
+        self._extended_names.append(candidate)
+        self._extended_sources.append(source_id)
+        self._extended_distributions.append({})
+        return new_id
+
+    def new_variable_rows(self) -> dict:
+        """``new variable -> {value: weight}`` for all created variables."""
+        values = self.space.values
+        return {
+            name: {
+                values[source_id][value_id]: weight
+                for value_id, weight in distribution.items()
+            }
+            for name, source_id, distribution in zip(
+                self._extended_names,
+                self._extended_sources,
+                self._extended_distributions,
+            )
+        }
+
+    @property
+    def variable_sources(self) -> dict:
+        """``new variable -> original variable`` for every created variable."""
+        variables = self.space.variables
+        return {
+            name: variables[source_id]
+            for name, source_id in zip(self._extended_names, self._extended_sources)
+        }
 
 
 def _merge_equal_variables(delta_rows: dict, variable_sources: dict):

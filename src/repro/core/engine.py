@@ -19,7 +19,14 @@ queries a real workload issues against one world table.  An
   statistics of the old engine into its aggregates;
 * **aggregate statistics** — frames (recursive calls), memo hits, memo size,
   evictions and accumulated wall time across the handle's whole lifetime,
-  snapshotted as :class:`EngineStats`.
+  snapshotted as :class:`EngineStats`;
+* **opt-in parallel ⊗-components** — with ``workers=N`` the handle owns a
+  thread pool and dispatches the top-level independent components of a
+  ws-set to per-worker engines (each with its own memo and its own budget),
+  merging ``P = 1 − Π_i (1 − P_i)`` in deterministic component order.  The
+  per-component evaluations are exactly the computations the single-threaded
+  engine would run below its top-level ⊗-node, so the merged probability is
+  bit-identical to the serial result.
 
 :class:`repro.db.session.Session` builds exactly one handle and routes every
 exact computation — single queries, batched per-tuple confidences, SQL
@@ -28,16 +35,27 @@ execution, the exact leg of the hybrid method — through it.
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.decompose import Budget
+from repro.core.interned import (
+    InternedEngine,
+    deduplicate_interned,
+    remove_subsumed_interned,
+)
 from repro.core.probability import ExactConfig, make_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.wsset import WSSet
     from repro.db.world_table import WorldTable
+
+#: Fewer descriptors than this never go through the worker pool: dispatch
+#: latency exceeds the evaluation cost of tiny components.
+_MIN_PARALLEL_DESCRIPTORS = 8
 
 
 @dataclass(frozen=True)
@@ -47,8 +65,16 @@ class EngineStats:
     ``frames`` counts engine recursion frames (decomposition nodes expanded),
     ``memo_hits`` sub-ws-sets answered from the component cache, and
     ``wall_time`` the summed wall-clock seconds of all computations; all three
-    include the contributions of engines retired by a rebuild.  ``memo_size``
-    and ``memo_evictions`` describe the *current* engine's cache.
+    include the contributions of engines retired by a rebuild and of the
+    worker engines of the parallel path.  ``memo_size`` and
+    ``memo_evictions`` describe the *current* main engine's cache.
+
+    ``workers`` is the configured pool size (0 when parallelism is off),
+    ``parallel_computations`` / ``parallel_components`` count the
+    computations routed through the pool and the components they dispatched,
+    and ``worker_utilisation`` is the mean fraction of the pool that was busy
+    while parallel computations ran (busy worker-seconds divided by
+    ``workers ×`` parallel wall-seconds; 0.0 when nothing ran in parallel).
     """
 
     computations: int = 0
@@ -58,6 +84,15 @@ class EngineStats:
     memo_evictions: int = 0
     wall_time: float = 0.0
     engine_rebuilds: int = 0
+    workers: int = 0
+    parallel_computations: int = 0
+    parallel_components: int = 0
+    worker_utilisation: float = 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of expanded frames answered from the memo cache."""
+        return self.memo_hits / self.frames if self.frames else 0.0
 
 
 class EngineHandle:
@@ -67,6 +102,8 @@ class EngineHandle:
         self,
         world_table: "WorldTable",
         config: ExactConfig | None = None,
+        *,
+        workers: int | None = None,
     ) -> None:
         self.config = config or ExactConfig()
         self._world_table = world_table
@@ -78,6 +115,16 @@ class EngineHandle:
         # Frames / hits of engines discarded by rebuilds, folded into stats.
         self._retired_frames = 0
         self._retired_hits = 0
+        # Parallel ⊗-component machinery (dormant unless workers > 1).
+        self._workers = workers if workers and workers > 1 else 0
+        self._closed = False
+        self._executor: ThreadPoolExecutor | None = None
+        self._worker_engines: list = []
+        self._worker_lock = threading.Lock()
+        self._parallel_computations = 0
+        self._parallel_components = 0
+        self._parallel_busy_time = 0.0
+        self._parallel_wall_time = 0.0
 
     # ------------------------------------------------------------------
     # Binding / staleness
@@ -85,6 +132,11 @@ class EngineHandle:
     @property
     def world_table(self) -> "WorldTable":
         return self._world_table
+
+    @property
+    def workers(self) -> int:
+        """Size of the ⊗-component worker pool (0 = parallelism off)."""
+        return self._workers
 
     def rebind(self, world_table: "WorldTable") -> None:
         """Point the handle at a (possibly) different world table.
@@ -102,12 +154,29 @@ class EngineHandle:
         """Drop the current engine (and its memo); it is rebuilt lazily."""
         self._retire()
 
+    def close(self) -> None:
+        """Shut down the worker pool and disable parallel evaluation.
+
+        The handle stays usable — further computations simply run serially;
+        without the flag a later multi-component query would silently
+        resurrect the pool behind the caller's back.
+        """
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
     def _retire(self) -> None:
         if self._engine is not None:
             self._retired_frames += self._engine.stats.recursive_calls
             self._retired_hits += self._engine.cache_hits
             self._engine = None
             self._rebuilds += 1
+        with self._worker_lock:
+            for engine in self._worker_engines:
+                self._retired_frames += engine.stats.recursive_calls
+                self._retired_hits += engine.cache_hits
+            self._worker_engines.clear()
 
     def engine(self):
         """The current engine, rebuilt if the world table was mutated."""
@@ -138,7 +207,21 @@ class EngineHandle:
         one computation; either way the budget is re-armed fresh, so limits
         apply per computation, not to the handle's lifetime.  Raises
         :class:`~repro.errors.BudgetExceededError` like the one-shot API.
+
+        With ``workers=N`` (N > 1) a ws-set that splits into several
+        top-level independent components is evaluated by the worker pool,
+        one fresh budget per component ("per-worker budget accounting") and
+        a deterministic in-order merge; ws-sets with a single component run
+        serially as usual.
         """
+        config = self.config
+        if (
+            self._workers
+            and not self._closed
+            and config.engine == "interned"
+            and config.use_independent_partitioning
+        ):
+            return self._parallel_probability(ws_set, max_calls, time_limit)
         return self._timed(
             lambda engine: engine.compute_wsset(ws_set), max_calls, time_limit
         )
@@ -157,18 +240,115 @@ class EngineHandle:
 
     def _timed(self, run, max_calls: int | None, time_limit: float | None) -> float:
         engine = self.engine()
-        engine.reset_budget(
-            Budget(
-                max_calls if max_calls is not None else self.config.max_calls,
-                time_limit if time_limit is not None else self.config.time_limit,
-            )
-        )
+        engine.reset_budget(self._budget(max_calls, time_limit))
         started = time.perf_counter()
         try:
             return run(engine)
         finally:
             self._wall_time += time.perf_counter() - started
             self._computations += 1
+
+    def _budget(self, max_calls: int | None, time_limit: float | None) -> Budget:
+        return Budget(
+            max_calls if max_calls is not None else self.config.max_calls,
+            time_limit if time_limit is not None else self.config.time_limit,
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel ⊗-components
+    # ------------------------------------------------------------------
+    def _parallel_probability(
+        self, ws_set: "WSSet", max_calls: int | None, time_limit: float | None
+    ) -> float:
+        """Evaluate top-level ⊗-components on the pool (serially if only one).
+
+        Mirrors the interned engine's own entry simplifications (dedup +
+        subsumption removal) before the component split, so each dispatched
+        component is exactly a child the serial top-level ⊗-node would have.
+        When the split yields nothing to parallelise — too few descriptors
+        or a single component — the already-simplified ws-set is evaluated
+        serially via ``engine.run`` rather than redoing the whole pipeline.
+        """
+        config = self.config
+        engine = self.engine()
+        space = engine.space
+        interned = deduplicate_interned(space.intern_wsset(ws_set))
+        if config.simplify_subsumed:
+            interned = remove_subsumed_interned(interned)
+        if len(interned) < _MIN_PARALLEL_DESCRIPTORS:
+            components = [interned]
+        else:
+            components = engine.components_of(interned)
+        if len(components) < 2:
+            return self._timed(
+                lambda engine: engine.run(interned), max_calls, time_limit
+            )
+
+        executor = self._ensure_executor()
+        started = time.perf_counter()
+        futures = [
+            executor.submit(self._component_probability, component, max_calls, time_limit)
+            for component in components
+        ]
+        try:
+            complement = 1.0
+            error = None
+            values = []
+            for future in futures:
+                try:
+                    values.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - re-raised in order below
+                    values.append(None)
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+            for value, _seconds in values:
+                complement *= 1.0 - value
+            return 1.0 - complement
+        finally:
+            elapsed = time.perf_counter() - started
+            self._wall_time += elapsed
+            self._parallel_wall_time += elapsed
+            self._parallel_busy_time += sum(
+                entry[1] for entry in values if entry is not None
+            )
+            self._computations += 1
+            self._parallel_computations += 1
+            self._parallel_components += len(components)
+
+    def _component_probability(
+        self, component, max_calls: int | None, time_limit: float | None
+    ):
+        """Worker task: evaluate one component on a checked-out engine."""
+        engine = self._checkout_engine()
+        engine.reset_budget(self._budget(max_calls, time_limit))
+        started = time.perf_counter()
+        try:
+            value = engine.run(component)
+        finally:
+            seconds = time.perf_counter() - started
+            self._checkin_engine(engine)
+        return value, seconds
+
+    def _checkout_engine(self) -> InternedEngine:
+        with self._worker_lock:
+            if self._worker_engines:
+                return self._worker_engines.pop()
+        return InternedEngine(
+            self._world_table, self.config, record_elimination_order=False
+        )
+
+    def _checkin_engine(self, engine: InternedEngine) -> None:
+        with self._worker_lock:
+            self._worker_engines.append(engine)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-oxcomponent"
+            )
+        return self._executor
 
     # ------------------------------------------------------------------
     # Statistics
@@ -185,6 +365,15 @@ class EngineHandle:
             hits += engine.cache_hits
             memo_size = len(engine.cache)
             evictions = getattr(engine.cache, "evictions", 0)
+        with self._worker_lock:
+            for worker_engine in self._worker_engines:
+                frames += worker_engine.stats.recursive_calls
+                hits += worker_engine.cache_hits
+        utilisation = 0.0
+        if self._workers and self._parallel_wall_time > 0.0:
+            utilisation = self._parallel_busy_time / (
+                self._workers * self._parallel_wall_time
+            )
         return EngineStats(
             computations=self._computations,
             frames=frames,
@@ -193,6 +382,10 @@ class EngineHandle:
             memo_evictions=evictions,
             wall_time=self._wall_time,
             engine_rebuilds=self._rebuilds,
+            workers=self._workers,
+            parallel_computations=self._parallel_computations,
+            parallel_components=self._parallel_components,
+            worker_utilisation=utilisation,
         )
 
     def __repr__(self) -> str:

@@ -43,7 +43,7 @@ from repro.core.decompose import (
     kept_after_subsumption,
     make_memo,
 )
-from repro.core.heuristics import make_heuristic
+from repro.core.heuristics import make_heuristic, minlog_select_vectorized
 from repro.errors import UnknownVariableError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -210,7 +210,9 @@ def remove_subsumed_interned(
 
 
 def connected_components_interned(
-    descriptors: list[PackedDescriptor], shift: int
+    descriptors: list[PackedDescriptor],
+    shift: int,
+    mask_cache: "dict[PackedDescriptor, int] | None" = None,
 ) -> list[list[PackedDescriptor]]:
     """Partition into variable-disjoint components (merged variable bitmasks).
 
@@ -221,14 +223,27 @@ def connected_components_interned(
     the engine sees, and the common single-component outcome returns the
     input list unchanged — this runs at every INDVE node, so it is the
     engine's hottest helper.
+
+    ``mask_cache`` memoises per-descriptor masks across calls: sibling
+    ⊕-branches share their ``T`` descriptors verbatim (same tuple objects),
+    so the cache turns the per-descriptor bit-fold into one dict hit on every
+    node after the first that sees the descriptor.
     """
     component_masks: list[int] = []
     component_members: list[list[PackedDescriptor] | None] = []
     live = 0
     for descriptor in descriptors:
-        mask = 0
-        for packed in descriptor:
-            mask |= 1 << (packed >> shift)
+        if mask_cache is not None:
+            mask = mask_cache.get(descriptor)
+            if mask is None:
+                mask = 0
+                for packed in descriptor:
+                    mask |= 1 << (packed >> shift)
+                mask_cache[descriptor] = mask
+        else:
+            mask = 0
+            for packed in descriptor:
+                mask |= 1 << (packed >> shift)
         first = -1
         for index in range(len(component_masks)):
             if component_masks[index] & mask:
@@ -306,6 +321,11 @@ _SUM = 1  # ⊕-frame: accumulates Σ weight · P(child); finishes as acc
 #: even one ⊕-expansion (measured optimum on the Figure 11a workload).
 _CLOSED_FORM_LIMIT = 5
 
+#: Upper bound on the per-engine descriptor-mask cache; reaching it clears the
+#: cache wholesale (the masks are cheap to recompute, the bound only protects
+#: long-lived session engines from unbounded growth).
+_MASK_CACHE_LIMIT = 1 << 17
+
 
 class _Frame:
     """One suspended ⊗- or ⊕-node of the explicit evaluation stack."""
@@ -355,16 +375,63 @@ class InternedEngine:
         self.memoize = config.effective_memoize
         self.cache: dict[tuple, float] = make_memo(config.memo_limit)
         self.cache_hits = 0
+        # Per-descriptor variable bitmasks, shared across sibling ⊕-branches
+        # (the T set re-enters the component search verbatim in every branch).
+        self._mask_cache: dict[PackedDescriptor, int] = {}
         # Hot-loop bindings: resolved once so _expand avoids repeated
         # attribute chases on every node.
         self._use_independent_partitioning = config.use_independent_partitioning
         self._subsumption_every_step = config.subsumption_every_step
         self._tick = self.budget.tick
+        # Numpy vectorisation of the minlog estimate and ⊕-weight folds:
+        # enabled above config.numpy_threshold when numpy is importable and
+        # the configured heuristic is the (default) minlog instance.
+        self._numpy_threshold: int | None = None
+        self._vector_minlog = False
+        self._fold_absent_weight = None
+        if config.numpy_threshold is not None:
+            from repro.core.heuristics import MinLogHeuristic
+            from repro.core.vector import HAVE_NUMPY, fold_absent_weight
+
+            if HAVE_NUMPY:
+                self._numpy_threshold = max(2, config.numpy_threshold)
+                self._fold_absent_weight = fold_absent_weight
+                self._vector_minlog = (
+                    isinstance(self.heuristic, MinLogHeuristic)
+                    and self.heuristic.base == 2.0
+                )
 
     def reset_budget(self, budget: Budget) -> None:
         """Install a fresh budget (handles re-arm per computation)."""
         self.budget = budget
         self._tick = budget.tick
+
+    def components_of(
+        self, interned: list[PackedDescriptor]
+    ) -> list[list[PackedDescriptor]]:
+        """Variable-disjoint components of an interned ws-set.
+
+        Shares the engine's per-descriptor mask cache (applying its size
+        guard), so external callers — the parallel ⊗-component dispatcher —
+        reuse the warm masks without touching private state.
+        """
+        if len(self._mask_cache) > _MASK_CACHE_LIMIT:
+            self._mask_cache.clear()
+        return connected_components_interned(
+            interned, self.space.shift, self._mask_cache
+        )
+
+    @property
+    def minlog_vector_threshold(self) -> int | None:
+        """Candidate count at which vectorised minlog selection engages.
+
+        ``None`` when vectorisation is unavailable or disabled (no numpy,
+        ``numpy_threshold=None``, or a non-default heuristic).  Exposed so
+        sibling engines sharing this engine's configuration — the interned
+        conditioning engine — can apply the same dispatch without reaching
+        into private state.
+        """
+        return self._numpy_threshold if self._vector_minlog else None
 
     # -- public entry points --------------------------------------------
     def compute_wsset(self, ws_set: "WSSet") -> float:
@@ -378,6 +445,16 @@ class InternedEngine:
     def run(self, interned: list[PackedDescriptor]) -> float:
         """Probability of an already-interned, already-simplified ws-set."""
         return self._evaluate(interned)
+
+    def compute_interned(self, interned: list[PackedDescriptor]) -> float:
+        """Probability of an interned ws-set (applies the input simplifications).
+
+        The entry point for callers that already live in the packed-int id
+        space — the interned conditioning engine delegates its
+        confidence-only subproblems here without ever materialising dict
+        descriptors.
+        """
+        return self._compute(list(interned))
 
     def _compute(self, interned: list[PackedDescriptor]) -> float:
         interned = deduplicate_interned(interned)
@@ -459,7 +536,10 @@ class InternedEngine:
         space = self.space
         shift = space.shift
         if self._use_independent_partitioning and not from_independent:
-            components = connected_components_interned(descriptors, shift)
+            mask_cache = self._mask_cache
+            if len(mask_cache) > _MASK_CACHE_LIMIT:
+                mask_cache.clear()
+            components = connected_components_interned(descriptors, shift, mask_cache)
             if len(components) > 1:
                 stats.independent_nodes += 1
                 stack.append(_Frame(_PROD, components, None, key, depth))
@@ -469,6 +549,10 @@ class InternedEngine:
         occurrences = count_occurrences_interned(descriptors, shift, space.mask)
         if len(occurrences) == 1:
             variable_id = next(iter(occurrences))
+        elif self._vector_minlog and len(occurrences) >= self._numpy_threshold:
+            variable_id = minlog_select_vectorized(
+                occurrences, len(descriptors), space
+            )
         else:
             variable_id = self.heuristic.select_variable(
                 occurrences, len(descriptors), space
@@ -484,7 +568,20 @@ class InternedEngine:
         weights: list[float] = []
         certain_weight = 0.0
         absent_weight = 0.0
-        for value_id, weight in enumerate(space.weights[variable_id]):
+        weights_row = space.weights[variable_id]
+        if (
+            self._numpy_threshold is not None
+            and len(weights_row) >= self._numpy_threshold
+        ):
+            # Large domain: fold the weights of the absent values (they all
+            # share the single subproblem T) in one numpy reduction and only
+            # walk the values that actually occur in the ws-set.
+            present = sorted(by_value)
+            absent_weight = self._fold_absent_weight(weights_row, present)
+            items = [(value_id, weights_row[value_id]) for value_id in present]
+        else:
+            items = enumerate(weights_row)
+        for value_id, weight in items:
             if weight == 0.0:
                 continue
             branch = by_value.get(value_id)

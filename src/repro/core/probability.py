@@ -93,6 +93,14 @@ class ExactConfig:
         ``"interned"`` (default) for the integer-packed iterative engine of
         :mod:`repro.core.interned`; ``"legacy"`` for the original recursive
         plain-dict engine.
+    numpy_threshold:
+        Size at which the interned engine switches its fold-heavy helpers
+        (the minlog cost estimate over candidate variables, the ⊕-branch
+        weight folds) to the numpy kernels of :mod:`repro.core.vector`:
+        vectorisation kicks in when a fold spans at least this many elements.
+        Below the threshold — and always when numpy is not installed — the
+        pure-python loops are used.  ``None`` disables vectorisation
+        entirely (the ablation knob of the threshold-sweep benchmark).
     """
 
     use_independent_partitioning: bool = True
@@ -104,6 +112,7 @@ class ExactConfig:
     max_calls: int | None = None
     time_limit: float | None = None
     engine: str = "interned"
+    numpy_threshold: int | None = 32
 
     @classmethod
     def indve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":

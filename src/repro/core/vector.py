@@ -1,0 +1,100 @@
+"""Optional numpy acceleration for the interned engine's fold-heavy helpers.
+
+numpy is an *optional* dependency of this library: every numerical kernel has
+a pure-python fallback and the engines only switch to the vectorised variant
+above a size threshold (``ExactConfig.numpy_threshold``), where the constant
+cost of array construction is amortised.  Importing this module never fails —
+when numpy is absent ``HAVE_NUMPY`` is false and the helpers raise if called,
+which the engines guard against up front.
+
+Three folds are vectorised here:
+
+* :func:`minlog_scores` — the per-candidate-variable cost estimate of the
+  minlog heuristic (Figure 6), a log-sum-exp fold over branch sizes, computed
+  for *all* candidate variables in one segmented reduction;
+* :func:`descriptor_weights` — ``P(d)`` for a batch of packed descriptors
+  (the ⊕-clause weight fold of the Karp-Luby sampler and of the
+  inclusion-exclusion closed form);
+* :func:`fold_absent_weight` — the summed weight of the domain values of an
+  eliminated variable that do not occur in the ws-set (the shared-``T``
+  branch of Figure 4's footnote), for large domains.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by the engine tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
+#: True iff numpy is importable; the engines only call into this module
+#: (above their size thresholds) when this flag is set.
+HAVE_NUMPY = _np is not None
+
+np = _np
+
+
+def minlog_scores(sizes, offsets):
+    """Per-group ``log2(Σ_i 2^{sizes_i})`` for groups starting at ``offsets``.
+
+    ``sizes`` is the flattened list of branch sizes ``s_i = |S_{x→i} ∪ T|`` of
+    all candidate variables, ``offsets`` the start index of each variable's
+    segment.  Returns one score per group, computed with the usual
+    max-subtraction so that large branch sizes cannot overflow ``2**s``.
+    """
+    sizes = _np.asarray(sizes, dtype=_np.float64)
+    offsets = _np.asarray(offsets, dtype=_np.intp)
+    maxes = _np.maximum.reduceat(sizes, offsets)
+    lengths = _np.diff(_np.append(offsets, len(sizes)))
+    sums = _np.add.reduceat(_np.exp2(sizes - _np.repeat(maxes, lengths)), offsets)
+    return maxes + _np.log2(sums)
+
+
+def descriptor_weights(descriptors, shift, mask, weight_table):
+    """``P(d)`` for every packed descriptor, as one segmented product.
+
+    ``weight_table`` is the flattened ``variable_id * (mask + 1) + value_id``
+    indexed weight array built by :func:`flatten_weights`.  Descriptors are
+    tuples of packed ints; empty descriptors get weight one.
+    """
+    lengths = _np.fromiter(
+        (len(d) for d in descriptors), dtype=_np.intp, count=len(descriptors)
+    )
+    total = int(lengths.sum())
+    if total == 0:
+        return _np.ones(len(descriptors), dtype=_np.float64)
+    flat = _np.fromiter((p for d in descriptors for p in d), dtype=_np.int64, count=total)
+    factors = weight_table[(flat >> shift) * (mask + 1) + (flat & mask)]
+    offsets = _np.concatenate(([0], _np.cumsum(lengths[:-1])))
+    nonempty = lengths > 0
+    if bool(nonempty.all()):
+        return _np.multiply.reduceat(factors, offsets)
+    # reduceat mis-handles zero-length segments (it would return the single
+    # element at the repeated offset); empty descriptors have weight one, and
+    # dropping their offsets leaves the remaining segment boundaries intact.
+    products = _np.ones(len(descriptors), dtype=_np.float64)
+    products[nonempty] = _np.multiply.reduceat(factors, offsets[nonempty])
+    return products
+
+
+def flatten_weights(weights, mask):
+    """Flatten per-variable weight lists into one dense array for indexing.
+
+    Row ``variable_id`` occupies the slots ``[vid * (mask+1), (vid+1) * (mask+1))``
+    so a packed assignment indexes it as ``(p >> shift) * (mask+1) + (p & mask)``.
+    """
+    stride = mask + 1
+    table = _np.zeros(len(weights) * stride, dtype=_np.float64)
+    for variable_id, row in enumerate(weights):
+        table[variable_id * stride : variable_id * stride + len(row)] = row
+    return table
+
+
+def fold_absent_weight(weights_row, present_value_ids):
+    """Summed weight of the domain values *not* present in ``present_value_ids``."""
+    row = _np.asarray(weights_row, dtype=_np.float64)
+    if present_value_ids:
+        keep = _np.ones(len(row), dtype=bool)
+        keep[_np.fromiter(present_value_ids, dtype=_np.intp)] = False
+        return float(row[keep].sum())
+    return float(row.sum())

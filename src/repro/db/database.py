@@ -180,8 +180,14 @@ class ProbabilisticDatabase:
         return Session(self, config, **options)
 
     def async_session(self, config: ExactConfig | None = None, **options) -> "AsyncSession":
-        """An :class:`~repro.db.session.AsyncSession` over a new session."""
-        return self.session(config, **options).as_async()
+        """An :class:`~repro.db.session.AsyncSession` over a new session.
+
+        The facade owns the session it wraps: closing it also releases the
+        session's resources (e.g. the ``workers=N`` ⊗-component pool).
+        """
+        from repro.db.session import AsyncSession
+
+        return AsyncSession(self.session(config, **options), owns_session=True)
 
     def confidence(
         self,

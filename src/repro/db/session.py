@@ -141,6 +141,7 @@ class Session:
         memo_limit: int | None = None,
         hybrid_max_calls: int | None = None,
         hybrid_time_limit: float | None = None,
+        workers: int | None = None,
     ) -> None:
         config = config or ExactConfig()
         if memo_limit is not None:
@@ -161,7 +162,11 @@ class Session:
         else:
             self._database = source
             world_table = source.world_table
-        self._handle = EngineHandle(world_table, config)
+        # workers=N (N > 1) opts into parallel evaluation of independent
+        # ⊗-components: the session's engine handle owns the worker pool and
+        # merges component probabilities deterministically, so results are
+        # bit-identical to workers=None.
+        self._handle = EngineHandle(world_table, config, workers=workers)
 
     # ------------------------------------------------------------------
     # Binding
@@ -198,6 +203,27 @@ class Session:
     def statistics(self) -> EngineStats:
         """Aggregate engine statistics over the session's lifetime."""
         return self._handle.snapshot()
+
+    @property
+    def stats(self) -> EngineStats:
+        """Alias of :meth:`statistics`: memo hit rate (``stats.memo_hit_rate``),
+        frames, wall time, worker pool size and utilisation, …"""
+        return self._handle.snapshot()
+
+    @property
+    def workers(self) -> int:
+        """Size of the parallel ⊗-component worker pool (0 = serial)."""
+        return self._handle.workers
+
+    def close(self) -> None:
+        """Release the worker pool (if any); the session stays usable serially."""
+        self._handle.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def clear_cache(self) -> None:
         """Drop the engine's memo cache (it is rebuilt lazily)."""
@@ -444,8 +470,12 @@ class AsyncSession:
     exhausting the interpreter-wide default thread pool.
     """
 
-    def __init__(self, session: Session) -> None:
+    def __init__(self, session: Session, *, owns_session: bool = False) -> None:
         self.session = session
+        # With owns_session (db.async_session() builds the Session internally
+        # and hands out only this facade) close() also releases the session's
+        # ⊗-component worker pool; a borrowed session is left untouched.
+        self._owns_session = owns_session
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-session"
         )
@@ -457,8 +487,11 @@ class AsyncSession:
         )
 
     def close(self) -> None:
-        """Shut down the worker thread (queued calls still complete)."""
+        """Shut down the worker thread (queued calls still complete); when
+        this facade owns its session, also release its ⊗-component pool."""
         self._executor.shutdown(wait=True)
+        if self._owns_session:
+            self.session.close()
 
     async def query(self, request: ConfidenceRequest) -> ConfidenceResult:
         return await self._run(self.session.query, request)

@@ -1,0 +1,118 @@
+"""Tests for the interned sampling substrate of Karp-Luby and naive MC.
+
+The key guarantees: the interned samplers are unbiased (fixed-seed estimates
+land within tolerance of the exact confidence on randomized instances, for
+both estimator variants), agree statistically with the legacy plain-dict
+samplers, and are reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.approx.karp_luby import KarpLubyEstimator, karp_luby_confidence
+from repro.approx.montecarlo import naive_monte_carlo_confidence
+from repro.core.bruteforce import brute_force_probability
+from repro.core.probability import probability
+from repro.core.wsset import WSSet
+from repro.workloads.random_instances import random_world_table, random_wsset
+
+
+def random_instance(seed, *, num_variables=6, num_descriptors=6, max_length=3):
+    rng = random.Random(seed)
+    world_table = random_world_table(
+        rng, num_variables=num_variables, max_domain_size=3
+    )
+    ws_set = random_wsset(
+        rng, world_table, num_descriptors=num_descriptors, max_length=max_length
+    )
+    return world_table, ws_set
+
+
+class TestInternedKarpLuby:
+    def test_matches_exact_on_paper_example(self, figure3_wsset, figure3_world_table):
+        exact = probability(figure3_wsset, figure3_world_table)
+        estimator = KarpLubyEstimator(
+            figure3_wsset, figure3_world_table, seed=7, interned=True
+        )
+        result = estimator.estimate(20000)
+        assert result.estimate == pytest.approx(exact, rel=0.05)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("estimator", ["first-clause", "coverage"])
+    def test_unbiased_on_random_instances(self, seed, estimator):
+        world_table, ws_set = random_instance(6100 + seed)
+        exact = brute_force_probability(ws_set, world_table)
+        kl = KarpLubyEstimator(
+            ws_set, world_table, seed=seed, estimator=estimator, interned=True
+        )
+        result = kl.estimate(20000)
+        assert result.estimate == pytest.approx(exact, rel=0.1, abs=0.02)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_interned_and_legacy_substrates_agree(self, seed):
+        world_table, ws_set = random_instance(6200 + seed)
+        interned = KarpLubyEstimator(
+            ws_set, world_table, seed=seed, interned=True
+        ).estimate(20000)
+        legacy = KarpLubyEstimator(
+            ws_set, world_table, seed=seed, interned=False
+        ).estimate(20000)
+        assert interned.estimate == pytest.approx(legacy.estimate, abs=0.03)
+        # Identical clause weights (the cheap part must not drift either).
+        assert KarpLubyEstimator(ws_set, world_table, interned=True).weights == \
+            pytest.approx(KarpLubyEstimator(ws_set, world_table, interned=False).weights)
+
+    def test_seeded_runs_are_reproducible(self):
+        world_table, ws_set = random_instance(6300)
+        first = karp_luby_confidence(ws_set, world_table, seed=99)
+        second = karp_luby_confidence(ws_set, world_table, seed=99)
+        assert first.estimate == second.estimate
+        assert first.iterations == second.iterations
+
+    def test_out_of_domain_clause_is_never_sampled(self, figure3_world_table):
+        # {x: 99} holds in no world; the interned estimator drops it, leaving
+        # the estimate for the remaining clause unchanged.
+        ws_set = WSSet([{"x": 99}, {"u": 1}])
+        kl = KarpLubyEstimator(ws_set, figure3_world_table, seed=0, interned=True)
+        result = kl.estimate(5000)
+        assert result.estimate == pytest.approx(0.7, abs=0.05)
+
+    def test_stopping_rule_through_interned_substrate(
+        self, figure3_wsset, figure3_world_table
+    ):
+        exact = probability(figure3_wsset, figure3_world_table)
+        result = karp_luby_confidence(
+            figure3_wsset, figure3_world_table, epsilon=0.05, delta=0.05, seed=11
+        )
+        assert result.estimate == pytest.approx(exact, rel=0.1)
+        assert result.iterations > 0
+
+
+class TestInternedMonteCarlo:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unbiased_on_random_instances(self, seed):
+        world_table, ws_set = random_instance(6500 + seed)
+        exact = brute_force_probability(ws_set, world_table)
+        result = naive_monte_carlo_confidence(
+            ws_set, world_table, iterations=20000, seed=seed, interned=True
+        )
+        assert result.estimate == pytest.approx(exact, abs=0.02)
+
+    def test_interned_and_legacy_substrates_agree(self):
+        world_table, ws_set = random_instance(6600)
+        interned = naive_monte_carlo_confidence(
+            ws_set, world_table, iterations=20000, seed=3, interned=True
+        )
+        legacy = naive_monte_carlo_confidence(
+            ws_set, world_table, iterations=20000, seed=3, interned=False
+        )
+        assert interned.estimate == pytest.approx(legacy.estimate, abs=0.03)
+
+    def test_seeded_runs_are_reproducible(self):
+        world_table, ws_set = random_instance(6700)
+        first = naive_monte_carlo_confidence(ws_set, world_table, seed=12)
+        second = naive_monte_carlo_confidence(ws_set, world_table, seed=12)
+        assert first.estimate == second.estimate

@@ -1,0 +1,238 @@
+"""Cross-engine tests for the interned conditioning recursion.
+
+The central guarantee: on randomized instances the interned frame-stack
+engine, the legacy dict recursion and brute-force world enumeration agree on
+the condition confidence and on every posterior tuple marginal to 1e-9, and
+the two implementations produce equivalent ΔW tables (same sources, same
+weighted alternatives up to new-variable naming).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bruteforce import brute_force_posterior_worlds
+from repro.core.conditioning import condition_wsset, conditioned_world_table
+from repro.core.descriptors import WSDescriptor
+from repro.core.probability import ExactConfig, probability
+from repro.core.wsset import WSSet
+from repro.db.world_table import WorldTable
+from repro.errors import ZeroProbabilityConditionError
+from repro.workloads.random_instances import random_world_table, random_wsset
+
+
+def posterior_tuple_marginals(result, tuples, world_table):
+    """Marginal presence probability of each tuple tag in the posterior."""
+    combined = conditioned_world_table(world_table, result)
+    marginals = {}
+    for tag, _ in tuples:
+        ws_set = WSSet(result.rewritten.get(tag, ()))
+        marginals[tag] = probability(ws_set, combined) if len(ws_set) else 0.0
+    return marginals
+
+
+def brute_force_tuple_marginals(condition, tuples, world_table):
+    """Ground-truth posterior marginals by enumerating and renormalising worlds."""
+    posterior = brute_force_posterior_worlds(condition, world_table)
+    marginals = {tag: 0.0 for tag, _ in tuples}
+    for world, weight in posterior:
+        for tag, descriptor in tuples:
+            if descriptor.is_satisfied_by(world):
+                marginals[tag] += weight
+    return marginals
+
+
+def random_case(seed, *, num_variables=5, condition_size=4, tuple_count=5):
+    rng = random.Random(seed)
+    world_table = random_world_table(
+        rng, num_variables=num_variables, max_domain_size=3
+    )
+    condition = random_wsset(
+        rng, world_table, num_descriptors=condition_size, max_length=3
+    )
+    tuples = [
+        (f"t{i}", descriptor)
+        for i, descriptor in enumerate(
+            random_wsset(rng, world_table, num_descriptors=tuple_count, max_length=2)
+        )
+    ]
+    return world_table, condition, tuples
+
+
+class TestImplementationDispatch:
+    def test_default_config_uses_interned_and_legacy_engine_uses_legacy(self):
+        # Both produce the same result either way; this pins the routing knob.
+        w = WorldTable()
+        w.add_variable("x", {1: 0.4, 2: 0.6})
+        condition = WSSet([{"x": 1}])
+        tuples = [("t", WSDescriptor({"x": 1}))]
+        interned = condition_wsset(condition, tuples, w)
+        legacy = condition_wsset(condition, tuples, w, ExactConfig(engine="legacy"))
+        assert interned.confidence == pytest.approx(legacy.confidence)
+
+    def test_unknown_implementation_rejected(self):
+        w = WorldTable()
+        w.add_variable("x", {1: 0.4, 2: 0.6})
+        with pytest.raises(ValueError):
+            condition_wsset(WSSet([{"x": 1}]), [], w, implementation="bogus")
+
+    def test_literal_rule_requires_legacy(self):
+        w = WorldTable()
+        w.add_variable("x", {1: 0.4, 2: 0.6})
+        with pytest.raises(ValueError):
+            condition_wsset(
+                WSSet([{"x": 1}]),
+                [],
+                w,
+                implementation="interned",
+                literal_independence_rule=True,
+            )
+
+
+class TestPaperExamplesInterned:
+    """The introduction's SSN example through the interned implementation."""
+
+    condition = WSSet([{"j": 1}, {"j": 7, "b": 4}])
+
+    def tuples(self):
+        return [
+            ("john1", WSDescriptor({"j": 1})),
+            ("john7", WSDescriptor({"j": 7})),
+            ("bill4", WSDescriptor({"b": 4})),
+            ("bill7", WSDescriptor({"b": 7})),
+        ]
+
+    def test_confidence_and_marginals(self, figure2_world_table):
+        result = condition_wsset(
+            self.condition, self.tuples(), figure2_world_table,
+            implementation="interned",
+        )
+        assert result.confidence == pytest.approx(0.44)
+        marginals = posterior_tuple_marginals(
+            result, self.tuples(), figure2_world_table
+        )
+        assert marginals["bill4"] == pytest.approx(0.3 / 0.44)
+        assert marginals["john1"] == pytest.approx(0.2 / 0.44)
+
+    def test_delta_distributions_sum_to_one(self, figure2_world_table):
+        result = condition_wsset(
+            self.condition, self.tuples(), figure2_world_table,
+            implementation="interned",
+        )
+        for variable in result.delta_world_table.variables:
+            distribution = result.delta_world_table.distribution(variable)
+            assert sum(distribution.values()) == pytest.approx(1.0)
+            assert result.variable_sources[variable] in ("j", "b")
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_interned_matches_legacy_and_brute_force(self, seed, prune):
+        world_table, condition, tuples = random_case(41000 + seed)
+        try:
+            interned = condition_wsset(
+                world_table=world_table,
+                condition=condition,
+                tuples=tuples,
+                implementation="interned",
+                prune_unrelated=prune,
+            )
+        except ZeroProbabilityConditionError:
+            pytest.skip("sampled an unsatisfiable condition")
+        legacy = condition_wsset(
+            world_table=world_table,
+            condition=condition,
+            tuples=tuples,
+            implementation="legacy",
+            prune_unrelated=prune,
+        )
+        assert interned.confidence == pytest.approx(legacy.confidence, abs=1e-12)
+        expected = brute_force_tuple_marginals(condition, tuples, world_table)
+        interned_marginals = posterior_tuple_marginals(interned, tuples, world_table)
+        for tag, value in expected.items():
+            assert interned_marginals[tag] == pytest.approx(value, abs=1e-9), tag
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_posterior_condition_probability_is_one(self, seed):
+        world_table, condition, _ = random_case(47000 + seed)
+        tuples = [(i, descriptor) for i, descriptor in enumerate(condition)]
+        try:
+            result = condition_wsset(
+                condition, tuples, world_table, implementation="interned"
+            )
+        except ZeroProbabilityConditionError:
+            pytest.skip("sampled an unsatisfiable condition")
+        combined = conditioned_world_table(world_table, result)
+        rewritten_condition = WSSet(
+            descriptor
+            for descriptors in result.rewritten.values()
+            for descriptor in descriptors
+        )
+        assert probability(rewritten_condition, combined) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_simplification_rules_agree_across_engines(self, seed):
+        world_table, condition, tuples = random_case(53000 + seed)
+        for options in (
+            {"drop_singleton_new_variables": False},
+            {"merge_equal_new_variables": False},
+            {"drop_singleton_new_variables": False, "merge_equal_new_variables": False},
+        ):
+            try:
+                interned = condition_wsset(
+                    condition, tuples, world_table,
+                    implementation="interned", **options,
+                )
+            except ZeroProbabilityConditionError:
+                pytest.skip("sampled an unsatisfiable condition")
+            expected = brute_force_tuple_marginals(condition, tuples, world_table)
+            actual = posterior_tuple_marginals(interned, tuples, world_table)
+            for tag, value in expected.items():
+                assert actual[tag] == pytest.approx(value, abs=1e-9), (tag, options)
+
+
+class TestInternedSpecifics:
+    def test_alien_tuple_variables_pass_through(self, figure2_world_table):
+        # A tuple referencing a variable the world table does not know rides
+        # along unchanged (it can never meet an eliminated variable).
+        condition = WSSet([{"j": 1}])
+        tuples = [("t", WSDescriptor({"b": 4, "ghost": 9}))]
+        result = condition_wsset(
+            condition, tuples, figure2_world_table, implementation="interned"
+        )
+        (descriptor,) = result.rewritten["t"]
+        assert descriptor.get("ghost") == 9
+        assert descriptor.get("b") == 4
+
+    def test_out_of_domain_tuple_value_denotes_no_world(self, figure2_world_table):
+        condition = WSSet([{"j": 1}])
+        tuples = [("dead", WSDescriptor({"b": 99})), ("live", WSDescriptor({"b": 4}))]
+        result = condition_wsset(
+            condition, tuples, figure2_world_table, implementation="interned"
+        )
+        assert result.rewritten["dead"] == []
+        assert result.rewritten["live"] != []
+
+    def test_deep_elimination_spine_needs_no_recursion_limit(self):
+        # One descriptor over 1200 variables forces a single-branch rewriting
+        # spine much deeper than CPython's default recursion limit (1000);
+        # the explicit frame stack absorbs it without touching the limit.
+        count = 1200
+        world_table = WorldTable()
+        assignments = {}
+        for index in range(count):
+            world_table.add_variable(f"x{index}", {0: 0.9999, 1: 0.0001})
+            assignments[f"x{index}"] = 0
+        condition = WSSet([assignments])
+        tuples = [("t", WSDescriptor(assignments))]
+        result = condition_wsset(
+            condition, tuples, world_table, implementation="interned"
+        )
+        assert result.confidence == pytest.approx(0.9999**count)
+        assert result.stats.max_depth > 1000
+        # Rule 2 strips every eliminated variable: the surviving descriptor
+        # is the nullary one (the tuple is certain in the posterior).
+        assert result.rewritten["t"] == [WSDescriptor({})]
