@@ -1,0 +1,114 @@
+"""Server mode in one file: embed a ConfidenceServer, query it over TCP.
+
+Starts the confidence server on an ephemeral port inside this process (the
+same engine the CLI ``python -m repro.server`` runs), then connects with the
+blocking client library and exercises the whole surface: single confidence
+queries (exact and hybrid with a per-request seed), the per-tuple batch, SQL,
+and the shared-engine statistics that show the memo cache working across
+connections.
+
+Run with::
+
+    PYTHONPATH=src python examples/server_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.db.database import ProbabilisticDatabase
+from repro.server import ConfidenceServer, connect
+
+
+def build_database() -> ProbabilisticDatabase:
+    """The SSN database of the paper's introduction (Figure 1 / Figure 2)."""
+    db = ProbabilisticDatabase()
+    db.world_table.add_variable("j", {1: 0.2, 7: 0.8})  # John's SSN
+    db.world_table.add_variable("b", {4: 0.3, 7: 0.7})  # Bill's SSN
+    relation = db.create_relation("R", ("SSN", "NAME"))
+    relation.add({"j": 1}, (1, "John"))
+    relation.add({"j": 7}, (7, "John"))
+    relation.add({"b": 4}, (4, "Bill"))
+    relation.add({"b": 7}, (7, "Bill"))
+    return db
+
+
+class EmbeddedServer:
+    """A ConfidenceServer on a background thread (its own event loop)."""
+
+    def __init__(self, database: ProbabilisticDatabase) -> None:
+        self._database = database
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.address: tuple[str, int] | None = None
+
+    def __enter__(self) -> "EmbeddedServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=10) or self._loop is None:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                server = ConfidenceServer(self._database, port=0, pool_size=4)
+                self.address = await server.start()
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+            except BaseException as error:
+                self._error = error
+                raise
+            finally:
+                self._ready.set()
+            await self._stop.wait()
+            await server.stop()
+
+        asyncio.run(main())
+
+
+def main() -> None:
+    database = build_database()
+    with EmbeddedServer(database) as embedded:
+        host, port = embedded.address
+        print(f"server listening on {host}:{port}")
+
+        with connect(host, port) as session:
+            print("ping:", session.ping())
+
+            answer = session.confidence("R")
+            print(f"P(R nonempty) = {answer.value:.4f} via {answer.method}")
+
+            hybrid = session.confidence("R", method="hybrid", seed=7)
+            print(f"hybrid answered by {hybrid.method} (fell back: {hybrid.fell_back})")
+
+            print("conf() per tuple:")
+            for row in session.confidence_batch("R"):
+                print(f"  {row.values}: {row.confidence:.4f}")
+
+            result = session.execute("select SSN, conf() from R where NAME = 'Bill'")
+            print("SQL:", result.columns, result.rows)
+
+        # A second connection reuses the same engine: repeated work is served
+        # from the memo cache warmed by the first connection.
+        with connect(host, port) as session:
+            session.confidence("R")
+            stats = session.statistics()
+            print(
+                f"shared engine after two connections: "
+                f"{stats.computations} computations, "
+                f"memo hit rate {stats.memo_hit_rate:.2f}"
+            )
+
+    print("server stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,7 +51,14 @@ from repro.db.confidence import (
     certain_tuples,
     possible_tuples,
 )
-from repro.db.session import Session, AsyncSession, ConfidenceRequest, ConfidenceResult
+from repro.db.session import (
+    Session,
+    AsyncSession,
+    SessionPool,
+    ConfidenceRequest,
+    ConfidenceResult,
+    adaptive_hybrid_budget,
+)
 from repro.db.tuple_independent import tuple_independent_relation
 
 from repro.errors import (
@@ -112,8 +119,10 @@ __all__ = [
     "possible_tuples",
     "Session",
     "AsyncSession",
+    "SessionPool",
     "ConfidenceRequest",
     "ConfidenceResult",
+    "adaptive_hybrid_budget",
     "tuple_independent_relation",
     # errors
     "ReproError",

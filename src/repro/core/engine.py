@@ -26,7 +26,15 @@ queries a real workload issues against one world table.  An
   merging ``P = 1 − Π_i (1 − P_i)`` in deterministic component order.  The
   per-component evaluations are exactly the computations the single-threaded
   engine would run below its top-level ⊗-node, so the merged probability is
-  bit-identical to the serial result.
+  bit-identical to the serial result;
+* **sharing across threads** — computations and rebinding are serialised on
+  an internal lock, so several sessions (e.g. the members of a
+  :class:`repro.db.session.SessionPool` behind the confidence server) can
+  route through *one* handle — one interned space, one memo cache — from
+  different threads.  Exact computations serialise (they share the engine's
+  budget and memo); the lock is uncontended in single-threaded use, and
+  statistics snapshots bypass it so monitoring never stalls behind a long
+  computation.
 
 :class:`repro.db.session.Session` builds exactly one handle and routes every
 exact computation — single queries, batched per-tuple confidences, SQL
@@ -38,7 +46,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import TYPE_CHECKING
 
 from repro.core.decompose import Budget
@@ -94,6 +102,22 @@ class EngineStats:
         """Fraction of expanded frames answered from the memo cache."""
         return self.memo_hits / self.frames if self.frames else 0.0
 
+    def as_dict(self) -> dict:
+        """A JSON-serialisable snapshot (all fields plus the derived hit rate).
+
+        This is the payload of the confidence server's ``stats`` frame and of
+        :attr:`repro.db.session.ConfidenceResult.stats` on the wire.
+        """
+        payload = asdict(self)
+        payload["memo_hit_rate"] = self.memo_hit_rate
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineStats":
+        """Rebuild a snapshot from :meth:`as_dict` output (extra keys ignored)."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in names})
+
 
 class EngineHandle:
     """One long-lived exact engine with memo reuse across computations."""
@@ -107,6 +131,11 @@ class EngineHandle:
     ) -> None:
         self.config = config or ExactConfig()
         self._world_table = world_table
+        # Serialises computations, rebinding and snapshots so the handle can
+        # be shared by several sessions across threads (the session-pool /
+        # server seam).  Re-entrant: probability() holds it while the
+        # parallel path calls back into engine().
+        self._lock = threading.RLock()
         self._engine = None
         self._engine_version: int | None = None
         self._computations = 0
@@ -146,13 +175,15 @@ class EngineHandle:
         rebuilds against the current table.  Rebinding to the same object is
         free.
         """
-        if world_table is not self._world_table:
-            self._world_table = world_table
-            self._retire()
+        with self._lock:
+            if world_table is not self._world_table:
+                self._world_table = world_table
+                self._retire()
 
     def invalidate(self) -> None:
         """Drop the current engine (and its memo); it is rebuilt lazily."""
-        self._retire()
+        with self._lock:
+            self._retire()
 
     def close(self) -> None:
         """Shut down the worker pool and disable parallel evaluation.
@@ -161,10 +192,11 @@ class EngineHandle:
         without the flag a later multi-component query would silently
         resurrect the pool behind the caller's back.
         """
-        self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._lock:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
 
     def _retire(self) -> None:
         if self._engine is not None:
@@ -215,16 +247,17 @@ class EngineHandle:
         serially as usual.
         """
         config = self.config
-        if (
-            self._workers
-            and not self._closed
-            and config.engine == "interned"
-            and config.use_independent_partitioning
-        ):
-            return self._parallel_probability(ws_set, max_calls, time_limit)
-        return self._timed(
-            lambda engine: engine.compute_wsset(ws_set), max_calls, time_limit
-        )
+        with self._lock:
+            if (
+                self._workers
+                and not self._closed
+                and config.engine == "interned"
+                and config.use_independent_partitioning
+            ):
+                return self._parallel_probability(ws_set, max_calls, time_limit)
+            return self._timed(
+                lambda engine: engine.compute_wsset(ws_set), max_calls, time_limit
+            )
 
     def probability_of_descriptors(
         self,
@@ -234,9 +267,10 @@ class EngineHandle:
         time_limit: float | None = None,
     ) -> float:
         """Like :meth:`probability` for plain-dict descriptors."""
-        return self._timed(
-            lambda engine: engine.compute(descriptors), max_calls, time_limit
-        )
+        with self._lock:
+            return self._timed(
+                lambda engine: engine.compute(descriptors), max_calls, time_limit
+            )
 
     def _timed(self, run, max_calls: int | None, time_limit: float | None) -> float:
         engine = self.engine()
@@ -354,7 +388,14 @@ class EngineHandle:
     # Statistics
     # ------------------------------------------------------------------
     def snapshot(self) -> EngineStats:
-        """Aggregate statistics of all computations so far."""
+        """Aggregate statistics of all computations so far.
+
+        Deliberately does *not* take the computation lock: statistics must
+        stay readable (server ``stats`` frames, per-result snapshots from
+        other pool members) while a long computation holds the lock on a
+        shared handle.  Counters read mid-computation are a best-effort
+        snapshot; each individual read is atomic under the GIL.
+        """
         engine = self._engine
         frames = self._retired_frames
         hits = self._retired_hits

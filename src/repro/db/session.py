@@ -28,11 +28,25 @@ executor surface: the same interface with coroutine methods
 The pre-session free functions (:func:`repro.db.confidence.confidence_by_tuple`
 and friends, :func:`repro.sql.executor.execute` with a bare config) keep
 working as thin wrappers that open a transient session per call.
+
+Two session features exist for the confidence server (:mod:`repro.server`):
+
+* :class:`SessionPool` — N :class:`AsyncSession` members whose sessions all
+  share *one* :class:`~repro.core.engine.EngineHandle` (one interned space,
+  one memo cache), so concurrent connections pipeline requests without
+  losing memo sharing; the handle's internal lock serialises exact
+  computations while sampling-based methods interleave freely;
+* wire codecs — :meth:`ConfidenceRequest.to_payload` /
+  :meth:`ConfidenceRequest.from_payload` and the matching pair on
+  :class:`ConfidenceResult` turn requests and results into JSON-safe
+  dictionaries (ws-set targets become sorted assignment-pair lists).
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -59,9 +73,40 @@ METHODS = ("exact", "karp_luby", "montecarlo", "hybrid")
 #: that a long-running server cannot grow without bound.
 DEFAULT_MEMO_LIMIT = 1 << 20
 
-#: Default call budget of the exact leg of ``method="hybrid"`` when neither
-#: the request nor the session specifies a budget.
+#: Ceiling (and historical default) of the exact-leg call budget of
+#: ``method="hybrid"``; the adaptive budget never exceeds it at scale 1.
 DEFAULT_HYBRID_MAX_CALLS = 200_000
+
+#: Floor of the adaptive hybrid budget: even tiny instances get this many
+#: calls before the exact leg is declared hopeless.
+HYBRID_BUDGET_FLOOR = 2_000
+
+#: Adaptive budget coefficient: exact-leg calls granted per descriptor ×
+#: variable unit of the queried ws-set.
+HYBRID_CALLS_PER_UNIT = 64
+
+
+def adaptive_hybrid_budget(
+    descriptor_count: int, variable_count: int, scale: float = 1.0
+) -> int:
+    """The exact-leg call budget of ``method="hybrid"``, from instance size.
+
+    Small instances deserve a real attempt at an exact answer, huge ones
+    should fall back to Karp-Luby quickly — a single constant can't do both,
+    so the budget grows with ``descriptor_count × variable_count`` (the two
+    size measures of Section 7's #P-hard generator), floored at
+    :data:`HYBRID_BUDGET_FLOOR` and capped at
+    :data:`DEFAULT_HYBRID_MAX_CALLS`.  ``scale`` multiplies the derived
+    budget (the :attr:`ConfidenceRequest.hybrid_scale` knob), so ``scale > 1``
+    deliberately exceeds the default ceiling and a tiny scale forces an early
+    fallback.
+    """
+    units = max(1, descriptor_count) * max(1, variable_count)
+    derived = min(
+        DEFAULT_HYBRID_MAX_CALLS,
+        max(HYBRID_BUDGET_FLOOR, HYBRID_CALLS_PER_UNIT * units),
+    )
+    return max(1, int(scale * derived))
 
 
 @dataclass(frozen=True)
@@ -71,7 +116,10 @@ class ConfidenceRequest:
     ``epsilon`` / ``delta`` / ``seed`` configure the approximate methods (and
     the fallback leg of ``hybrid``); ``max_calls`` / ``time_limit`` override
     the session's per-computation budget for the exact methods (and bound the
-    exact leg of ``hybrid``).  Unset fields inherit the session defaults.
+    exact leg of ``hybrid``); ``hybrid_scale`` multiplies the *adaptive*
+    exact-leg budget of ``hybrid`` when no explicit budget is given (see
+    :func:`adaptive_hybrid_budget`).  Unset fields inherit the session
+    defaults.
     """
 
     target: "WSSet | URelation | str"
@@ -81,11 +129,57 @@ class ConfidenceRequest:
     seed: int | None = None
     max_calls: int | None = None
     time_limit: float | None = None
+    hybrid_scale: float | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             known = ", ".join(METHODS)
             raise ValueError(f"unknown method {self.method!r}; known methods: {known}")
+
+    def to_payload(self) -> dict:
+        """A JSON-serialisable form of this request (the wire representation).
+
+        The target is encoded via :func:`target_to_payload`; a
+        :class:`~repro.db.urelation.URelation` target degrades to its ws-set
+        (the relation object itself cannot travel).
+        """
+        payload: dict = {
+            "target": target_to_payload(self.target),
+            "method": self.method,
+        }
+        for name in ("epsilon", "delta", "seed", "max_calls", "time_limit",
+                     "hybrid_scale"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConfidenceRequest":
+        """Rebuild a request from :meth:`to_payload` output.
+
+        Raises :class:`ValueError` (or ``KeyError`` for a missing target) on
+        malformed payloads — including unknown option names, which would be
+        a ``TypeError`` against the local constructor and must not be
+        silently dropped on the wire.  The server maps these onto protocol
+        error frames.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"confidence request must be an object, got {payload!r}")
+        option_names = ("epsilon", "delta", "seed", "max_calls", "time_limit",
+                        "hybrid_scale")
+        unknown = set(payload) - {"target", "method", *option_names}
+        if unknown:
+            raise ValueError(f"unknown confidence request fields {sorted(unknown)}")
+        options = {}
+        for name in option_names:
+            if payload.get(name) is not None:
+                options[name] = payload[name]
+        return cls(
+            target_from_payload(payload["target"]),
+            payload.get("method", "exact"),
+            **options,
+        )
 
 
 @dataclass
@@ -114,6 +208,80 @@ class ConfidenceResult:
     def is_exact(self) -> bool:
         return self.method == "exact"
 
+    def to_payload(self) -> dict:
+        """A JSON-serialisable form of this result (the wire representation)."""
+        return {
+            "value": self.value,
+            "method": self.method,
+            "requested_method": self.requested_method,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "iterations": self.iterations,
+            "fell_back": self.fell_back,
+            "fallback_reason": self.fallback_reason,
+            "wall_time": self.wall_time,
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ConfidenceResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        return cls(
+            value=payload["value"],
+            method=payload["method"],
+            requested_method=payload.get("requested_method", payload["method"]),
+            epsilon=payload.get("epsilon"),
+            delta=payload.get("delta"),
+            iterations=payload.get("iterations"),
+            fell_back=payload.get("fell_back", False),
+            fallback_reason=payload.get("fallback_reason"),
+            wall_time=payload.get("wall_time", 0.0),
+            stats=EngineStats.from_dict(payload.get("stats", {})),
+        )
+
+
+def target_to_payload(target: "WSSet | URelation | str") -> dict:
+    """Encode a confidence target for the wire.
+
+    Relation names travel by name (``{"kind": "relation"}``) and are resolved
+    against the server's database; ws-sets (and relations passed as objects)
+    travel extensionally as sorted assignment-pair lists (``{"kind":
+    "wsset"}``).  Variables and values must be JSON-representable (strings,
+    numbers, booleans) for the round trip to be faithful.
+    """
+    if isinstance(target, str):
+        return {"kind": "relation", "name": target}
+    if isinstance(target, URelation):
+        target = target.descriptors()
+    if isinstance(target, WSSet):
+        return {
+            "kind": "wsset",
+            "descriptors": [
+                [[variable, value] for variable, value in descriptor.sorted_items()]
+                for descriptor in target
+            ],
+        }
+    raise TypeError(f"cannot encode {target!r} as a confidence target")
+
+
+def target_from_payload(payload: dict) -> "WSSet | str":
+    """Decode a :func:`target_to_payload` target."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValueError(f"malformed confidence target {payload!r}")
+    if payload["kind"] == "relation":
+        name = payload.get("name")
+        if not isinstance(name, str):
+            raise ValueError(f"relation target needs a string name, got {name!r}")
+        return name
+    if payload["kind"] == "wsset":
+        descriptors = payload.get("descriptors")
+        if not isinstance(descriptors, list):
+            raise ValueError("wsset target needs a list of descriptors")
+        return WSSet(
+            {variable: value for variable, value in pairs} for pairs in descriptors
+        )
+    raise ValueError(f"unknown target kind {payload['kind']!r}")
+
 
 class Session:
     """A long-lived confidence service over one probabilistic database.
@@ -141,21 +309,35 @@ class Session:
         memo_limit: int | None = None,
         hybrid_max_calls: int | None = None,
         hybrid_time_limit: float | None = None,
+        hybrid_scale: float = 1.0,
         workers: int | None = None,
+        handle: EngineHandle | None = None,
     ) -> None:
-        config = config or ExactConfig()
-        if memo_limit is not None:
-            config = replace(config, memo_limit=memo_limit)
-        elif config.memo_limit is None and config.effective_memoize:
-            # Bound the shared memo sanely: a session's cache must not grow
-            # without bound over thousands of queries.
-            config = replace(config, memo_limit=DEFAULT_MEMO_LIMIT)
+        if handle is not None:
+            # Session-pool hook: share an existing engine handle (and thus its
+            # interned space, memo cache and config) instead of building one.
+            # The handle's internal lock makes cross-thread sharing safe.
+            if config is not None or memo_limit is not None or workers is not None:
+                raise QueryError(
+                    "pass either handle= or config/memo_limit/workers, not both "
+                    "(the handle already carries its config and worker pool)"
+                )
+            config = handle.config
+        else:
+            config = config or ExactConfig()
+            if memo_limit is not None:
+                config = replace(config, memo_limit=memo_limit)
+            elif config.memo_limit is None and config.effective_memoize:
+                # Bound the shared memo sanely: a session's cache must not grow
+                # without bound over thousands of queries.
+                config = replace(config, memo_limit=DEFAULT_MEMO_LIMIT)
         self.config = config
         self.epsilon = epsilon
         self.delta = delta
         self.seed = seed
         self.hybrid_max_calls = hybrid_max_calls
         self.hybrid_time_limit = hybrid_time_limit
+        self.hybrid_scale = hybrid_scale
         if isinstance(source, WorldTable):
             self._database: "ProbabilisticDatabase | None" = None
             world_table = source
@@ -166,7 +348,10 @@ class Session:
         # ⊗-components: the session's engine handle owns the worker pool and
         # merges component probabilities deterministically, so results are
         # bit-identical to workers=None.
-        self._handle = EngineHandle(world_table, config, workers=workers)
+        if handle is not None:
+            self._handle = handle
+        else:
+            self._handle = EngineHandle(world_table, config, workers=workers)
 
     # ------------------------------------------------------------------
     # Binding
@@ -407,9 +592,17 @@ class Session:
             else self.hybrid_time_limit
         )
         if max_calls is None and time_limit is None:
-            # An unbounded exact leg would never fall back; install the
-            # default call budget so "hybrid" always means "bounded exact".
-            max_calls = DEFAULT_HYBRID_MAX_CALLS
+            # An unbounded exact leg would never fall back; derive a budget
+            # from the instance size so "hybrid" always means "bounded exact"
+            # and the bound matches the difficulty of the query.
+            scale = (
+                request.hybrid_scale
+                if request.hybrid_scale is not None
+                else self.hybrid_scale
+            )
+            max_calls = adaptive_hybrid_budget(
+                len(ws_set), len(ws_set.variables()), scale
+            )
         try:
             exact_request = replace(
                 request, max_calls=max_calls, time_limit=time_limit
@@ -486,10 +679,17 @@ class AsyncSession:
             self._executor, lambda: function(*args, **kwargs)
         )
 
-    def close(self) -> None:
-        """Shut down the worker thread (queued calls still complete); when
-        this facade owns its session, also release its ⊗-component pool."""
-        self._executor.shutdown(wait=True)
+    def close(self, *, wait: bool = True) -> None:
+        """Shut down the worker thread; when this facade owns its session,
+        also release its ⊗-component pool.
+
+        With ``wait=True`` (default) queued calls still complete and the
+        worker is joined; ``wait=False`` drops queued calls and returns
+        without joining — an in-flight computation keeps its thread running
+        until it finishes (used by server shutdown, which must not block on
+        an unbounded client computation).
+        """
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
         if self._owns_session:
             self.session.close()
 
@@ -542,3 +742,100 @@ class AsyncSession:
 
     def __repr__(self) -> str:
         return f"AsyncSession({self.session!r})"
+
+
+class SessionPool:
+    """A fixed pool of :class:`AsyncSession` members sharing *one* engine.
+
+    This is the concurrency seam of the confidence server: every member
+    serialises its own calls on its own worker thread and wraps its own
+    :class:`Session`, but all those sessions share the primary session's
+    :class:`~repro.core.engine.EngineHandle` (the ``handle=`` hook) — one
+    interned id space, one memo cache, one set of aggregate statistics, for
+    every connection.  Exact computations from different members serialise
+    on the handle's internal lock (repeated and overlapping queries are
+    answered from the warm memo); the sampling-based methods (``karp_luby``,
+    ``montecarlo`` and the fallback leg of ``hybrid``) do not go through the
+    handle and interleave freely across members.
+
+    ``acquire()`` hands out members round-robin; with up to ``size`` requests
+    in flight the pool pipelines I/O-bound work while keeping the engine
+    state consistent.  Mutating the *database* itself (SQL ``assert``
+    conditioning) is not serialised here — callers running conditioning
+    concurrently with reads must gate it themselves, the way
+    :class:`repro.server.server.ConfidenceServer` holds its write gate.
+    """
+
+    #: Session options that also apply to the handle-sharing secondary
+    #: members (everything engine-related lives in the shared handle).
+    _MEMBER_OPTIONS = (
+        "epsilon", "delta", "seed",
+        "hybrid_max_calls", "hybrid_time_limit", "hybrid_scale",
+    )
+
+    def __init__(
+        self,
+        source: "ProbabilisticDatabase | WorldTable",
+        config: ExactConfig | None = None,
+        *,
+        size: int = 4,
+        **session_options,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be at least 1, got {size}")
+        self.session = Session(source, config, **session_options)
+        member_options = {
+            name: value
+            for name, value in session_options.items()
+            if name in self._MEMBER_OPTIONS
+        }
+        self._sessions = [self.session] + [
+            Session(source, handle=self.session.handle, **member_options)
+            for _ in range(size - 1)
+        ]
+        self._members = [AsyncSession(session) for session in self._sessions]
+        self._round_robin = itertools.cycle(range(size))
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Number of pool members (concurrent in-flight requests supported)."""
+        return len(self._members)
+
+    def acquire(self) -> AsyncSession:
+        """The next member, round-robin (members are never checked out)."""
+        if self._closed:
+            raise QueryError("the session pool is closed")
+        with self._lock:
+            return self._members[next(self._round_robin)]
+
+    def statistics(self) -> EngineStats:
+        """Aggregate engine statistics of the shared session."""
+        return self.session.statistics()
+
+    @property
+    def stats(self) -> EngineStats:
+        """Alias of :meth:`statistics`."""
+        return self.session.statistics()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut down every member's worker thread, then the shared engine.
+
+        ``wait=False`` skips joining the workers (see
+        :meth:`AsyncSession.close`): queued calls are dropped and a thread
+        still inside a computation finishes in the background.
+        """
+        self._closed = True
+        for member in self._members:
+            member.close(wait=wait)
+        self.session.close()  # all members share this session's handle
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SessionPool({self.size} members, {self.session!r})"

@@ -114,3 +114,30 @@ class BudgetExceededError(ReproError, RuntimeError):
         super().__init__(message)
         self.elapsed = elapsed
         self.nodes = nodes
+
+
+class ServerError(ReproError):
+    """Base class for confidence-server failures (wire protocol, remote errors)."""
+
+
+class ProtocolError(ServerError, ValueError):
+    """A wire frame violated the protocol: bad framing, encoding, version or schema.
+
+    ``code`` is the machine-readable error code carried by protocol error
+    frames (see :mod:`repro.server.protocol` for the full code registry).
+    """
+
+    def __init__(self, message: str, *, code: str = "malformed-frame") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class RemoteError(ServerError):
+    """An error frame from the server whose code maps to no specific local class.
+
+    Keeps the remote ``code`` so callers can still dispatch on it.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code

@@ -1,0 +1,38 @@
+"""Confidence server: the session service of :mod:`repro.db.session` on a wire.
+
+The server (:class:`~repro.server.server.ConfidenceServer`) exposes one
+shared :class:`~repro.db.database.ProbabilisticDatabase` — one long-lived
+engine, one interned id space, one memo cache — to many clients over a
+length-prefixed JSON TCP protocol (:mod:`repro.server.protocol`).  Concurrent
+connections pipeline their requests through a
+:class:`~repro.db.session.SessionPool`, so every client benefits from the
+sub-problems any other client has already solved.
+
+The client library (:mod:`repro.server.client`) mirrors the local
+:class:`~repro.db.session.Session` API over a socket: code written against a
+session runs unchanged against :func:`connect`.  ``python -m repro.server``
+starts a standalone server (see :mod:`repro.server.__main__` for the flags).
+"""
+
+from repro.server.client import AsyncServerSession, ServerSession, connect, connect_async
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    error_code,
+    exception_for,
+)
+from repro.server.server import ConfidenceServer
+
+__all__ = [
+    "AsyncServerSession",
+    "ConfidenceServer",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ServerSession",
+    "connect",
+    "connect_async",
+    "error_code",
+    "exception_for",
+]

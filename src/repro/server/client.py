@@ -1,0 +1,372 @@
+"""Client library for the confidence server: the session API over a socket.
+
+:class:`ServerSession` (blocking) and :class:`AsyncServerSession` (asyncio)
+mirror the local :class:`~repro.db.session.Session` /
+:class:`~repro.db.session.AsyncSession` surface — ``confidence``, ``query``,
+``confidence_many``, ``confidence_batch``, ``certain_tuples``,
+``possible_tuples``, ``execute``, ``execute_script``, ``statistics`` — so
+code written against a local session runs unchanged against a socket::
+
+    with connect("127.0.0.1", 2008) as session:
+        result = session.confidence("R", method="hybrid", seed=7)
+        rows = session.confidence_batch("R")
+        answer = session.execute("select SSN, conf() from R")
+
+Results come back as the same dataclasses the local API returns
+(:class:`~repro.db.session.ConfidenceResult`,
+:class:`~repro.db.confidence.ConfidenceRow`,
+:class:`~repro.sql.executor.QueryResult`), and error frames re-raise the
+matching :mod:`repro.errors` exception locally (a remote budget overrun
+raises :class:`~repro.errors.BudgetExceededError` here).
+
+Both clients are strictly request/response per connection; open several
+connections for overlapping requests (that is exactly what the server's
+session pool is for).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import TYPE_CHECKING
+
+from repro.core.engine import EngineStats
+from repro.db.confidence import ConfidenceRow
+from repro.db.session import ConfidenceRequest, ConfidenceResult
+from repro.errors import ProtocolError
+from repro.server import protocol
+from repro.server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.wsset import WSSet
+    from repro.db.urelation import URelation
+    from repro.sql.executor import QueryResult
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    timeout: float | None = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> "ServerSession":
+    """Open a blocking :class:`ServerSession` to a running confidence server.
+
+    ``timeout`` bounds connection *establishment* only; once connected the
+    socket blocks indefinitely (exact confidence computations can run far
+    longer than any sensible connect timeout, and a mid-request timeout
+    would desynchronise the stream).
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return ServerSession(sock, max_frame_bytes=max_frame_bytes)
+
+
+async def connect_async(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> "AsyncServerSession":
+    """Open an :class:`AsyncServerSession` to a running confidence server."""
+    reader, writer = await asyncio.open_connection(host, port)
+    return AsyncServerSession(reader, writer, max_frame_bytes=max_frame_bytes)
+
+
+class _SessionCalls:
+    """The shared request-building/decoding logic of both client flavours."""
+
+    def _next_id(self) -> int:
+        self._id += 1
+        return self._id
+
+    @staticmethod
+    def _result_of(frame: dict, sent_id: int) -> object:
+        if not isinstance(frame, dict) or "ok" not in frame:
+            raise ProtocolError(f"malformed response frame {frame!r}")
+        if not frame["ok"]:
+            # Error frames may carry id null (the server could not read the
+            # request's id, e.g. an oversized frame it had to drain); always
+            # surface the server's code and message rather than an id
+            # mismatch that would hide them.
+            error = frame.get("error") or {}
+            raise protocol.exception_for(
+                error.get("code", "internal"),
+                error.get("message", "unknown server error"),
+                error.get("detail"),
+            )
+        if frame.get("id") != sent_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match request id {sent_id}"
+            )
+        return frame.get("result")
+
+    @staticmethod
+    def _confidence_args(
+        target: "WSSet | URelation | str", method: str, options: dict
+    ) -> dict:
+        return ConfidenceRequest(target, method, **options).to_payload()
+
+    @staticmethod
+    def _batch_args(relation: "URelation | str", method: str, options: dict) -> dict:
+        name = relation if isinstance(relation, str) else relation.name
+        return {"relation": name, "method": method, **options}
+
+    @staticmethod
+    def _batch_rows(result: dict) -> list[ConfidenceRow]:
+        return [
+            ConfidenceRow(tuple(row["values"]), row["confidence"])
+            for row in result["rows"]
+        ]
+
+
+class ServerSession(_SessionCalls):
+    """A blocking client connection mirroring the local ``Session`` API."""
+
+    def __init__(
+        self, sock: socket.socket, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
+        self._sock = sock
+        self._max_frame_bytes = max_frame_bytes
+        self._id = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(self, op: str, args: dict | None = None) -> object:
+        sent_id = self._next_id()
+        protocol.send_frame(
+            self._sock,
+            protocol.request_frame(op, args, id=sent_id),
+            max_frame_bytes=self._max_frame_bytes,
+        )
+        frame = protocol.recv_frame(self._sock, max_frame_bytes=self._max_frame_bytes)
+        if frame is None:
+            raise ProtocolError("server closed the connection", code="connection-closed")
+        return self._result_of(frame, sent_id)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never matters twice
+            pass
+
+    def __enter__(self) -> "ServerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The session surface
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness check; returns the server's ``{"pong": ..., "protocol": ...}``."""
+        return self._call("ping")
+
+    def query(self, request: ConfidenceRequest) -> ConfidenceResult:
+        return ConfidenceResult.from_payload(
+            self._call("confidence", request.to_payload())
+        )
+
+    def confidence(
+        self, target: "WSSet | URelation | str", method: str = "exact", **options
+    ) -> ConfidenceResult:
+        return ConfidenceResult.from_payload(
+            self._call("confidence", self._confidence_args(target, method, options))
+        )
+
+    def confidence_many(
+        self,
+        targets: "list[WSSet | URelation | str | ConfidenceRequest]",
+        method: str = "exact",
+        **options,
+    ) -> list[ConfidenceResult]:
+        results = []
+        for target in targets:
+            if isinstance(target, ConfidenceRequest):
+                results.append(self.query(target))
+            else:
+                results.append(self.confidence(target, method, **options))
+        return results
+
+    def confidence_batch(
+        self, relation: "URelation | str", method: str = "exact", **options
+    ) -> list[ConfidenceRow]:
+        return self._batch_rows(
+            self._call("confidence_batch", self._batch_args(relation, method, options))
+        )
+
+    def certain_tuples(
+        self, relation: "URelation | str", *, tolerance: float = 1e-9, **options
+    ) -> list[tuple]:
+        return [
+            row.values
+            for row in self.confidence_batch(relation, **options)
+            if row.confidence >= 1.0 - tolerance
+        ]
+
+    def possible_tuples(
+        self, relation: "URelation | str", *, threshold: float = 0.0, **options
+    ) -> list[ConfidenceRow]:
+        return [
+            row
+            for row in self.confidence_batch(relation, **options)
+            if row.confidence > threshold
+        ]
+
+    def execute(self, sql: str) -> "QueryResult":
+        return protocol.query_result_from_payload(self._call("execute", {"sql": sql}))
+
+    def execute_script(self, sql: str) -> "list[QueryResult]":
+        return [
+            protocol.query_result_from_payload(payload)
+            for payload in self._call("execute_script", {"sql": sql})
+        ]
+
+    def server_stats(self) -> dict:
+        """The raw ``stats`` frame: engine snapshot plus server counters."""
+        return self._call("stats")
+
+    def statistics(self) -> EngineStats:
+        """The shared engine's aggregate statistics (like ``Session.statistics``)."""
+        return EngineStats.from_dict(self.server_stats()["engine"])
+
+    @property
+    def stats(self) -> EngineStats:
+        """Alias of :meth:`statistics`."""
+        return self.statistics()
+
+    def __repr__(self) -> str:
+        try:
+            peer = "%s:%s" % self._sock.getpeername()[:2]
+        except OSError:
+            peer = "closed"
+        return f"ServerSession({peer})"
+
+
+class AsyncServerSession(_SessionCalls):
+    """An asyncio client connection mirroring the local ``AsyncSession`` API.
+
+    Calls serialise on an internal lock (the protocol is request/response per
+    connection); ``confidence_many`` therefore pipelines at the server only
+    when issued from several connections, exactly like the blocking client.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._id = 0
+        self._lock = asyncio.Lock()
+
+    async def _call(self, op: str, args: dict | None = None) -> object:
+        async with self._lock:
+            sent_id = self._next_id()
+            await protocol.write_frame(
+                self._writer,
+                protocol.request_frame(op, args, id=sent_id),
+                max_frame_bytes=self._max_frame_bytes,
+            )
+            frame = await protocol.read_frame(
+                self._reader, max_frame_bytes=self._max_frame_bytes
+            )
+        if frame is None:
+            raise ProtocolError("server closed the connection", code="connection-closed")
+        return self._result_of(frame, sent_id)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def __aenter__(self) -> "AsyncServerSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def ping(self) -> dict:
+        return await self._call("ping")
+
+    async def query(self, request: ConfidenceRequest) -> ConfidenceResult:
+        return ConfidenceResult.from_payload(
+            await self._call("confidence", request.to_payload())
+        )
+
+    async def confidence(
+        self, target: "WSSet | URelation | str", method: str = "exact", **options
+    ) -> ConfidenceResult:
+        return ConfidenceResult.from_payload(
+            await self._call("confidence", self._confidence_args(target, method, options))
+        )
+
+    async def confidence_many(
+        self,
+        targets: "list[WSSet | URelation | str | ConfidenceRequest]",
+        method: str = "exact",
+        **options,
+    ) -> list[ConfidenceResult]:
+        results = []
+        for target in targets:
+            if isinstance(target, ConfidenceRequest):
+                results.append(await self.query(target))
+            else:
+                results.append(await self.confidence(target, method, **options))
+        return results
+
+    async def confidence_batch(
+        self, relation: "URelation | str", method: str = "exact", **options
+    ) -> list[ConfidenceRow]:
+        return self._batch_rows(
+            await self._call(
+                "confidence_batch", self._batch_args(relation, method, options)
+            )
+        )
+
+    async def certain_tuples(
+        self, relation: "URelation | str", *, tolerance: float = 1e-9, **options
+    ) -> list[tuple]:
+        return [
+            row.values
+            for row in await self.confidence_batch(relation, **options)
+            if row.confidence >= 1.0 - tolerance
+        ]
+
+    async def possible_tuples(
+        self, relation: "URelation | str", *, threshold: float = 0.0, **options
+    ) -> list[ConfidenceRow]:
+        return [
+            row
+            for row in await self.confidence_batch(relation, **options)
+            if row.confidence > threshold
+        ]
+
+    async def execute(self, sql: str) -> "QueryResult":
+        return protocol.query_result_from_payload(
+            await self._call("execute", {"sql": sql})
+        )
+
+    async def execute_script(self, sql: str) -> "list[QueryResult]":
+        return [
+            protocol.query_result_from_payload(payload)
+            for payload in await self._call("execute_script", {"sql": sql})
+        ]
+
+    async def server_stats(self) -> dict:
+        return await self._call("stats")
+
+    async def statistics(self) -> EngineStats:
+        return EngineStats.from_dict((await self.server_stats())["engine"])
+
+    def __repr__(self) -> str:
+        return "AsyncServerSession()"

@@ -1,0 +1,378 @@
+"""The confidence server's wire protocol: length-prefixed JSON frames.
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Requests carry a protocol version,
+a client-chosen correlation id, an operation name and its arguments::
+
+    {"v": 1, "id": 7, "op": "confidence", "args": {...}}
+
+Responses echo the id and carry either a result or a structured error::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "budget-exceeded",
+                                             "message": "..."}}
+
+Operations (see ``docs/protocol.md`` for the full schemas):
+
+``ping``
+    Liveness check; returns the server's protocol version.
+``stats``
+    Engine statistics (:meth:`repro.core.engine.EngineStats.as_dict`) plus
+    server-level counters.
+``confidence``
+    One :class:`~repro.db.session.ConfidenceRequest`
+    (:meth:`~repro.db.session.ConfidenceRequest.to_payload` form, including
+    per-request budgets, seeds and ε/δ) answered with a
+    :class:`~repro.db.session.ConfidenceResult` payload.
+``confidence_batch``
+    Per-tuple ``conf()`` of a named relation through
+    :meth:`~repro.db.session.Session.confidence_batch`.
+``execute`` / ``execute_script``
+    SQL through the shared session; results travel as
+    :func:`query_result_to_payload` objects.
+
+Error frames map the :mod:`repro.errors` hierarchy onto stable string codes
+(:data:`ERROR_CODES`); :func:`exception_for` reverses the mapping on the
+client so a remote :class:`~repro.errors.BudgetExceededError` raises a local
+:class:`~repro.errors.BudgetExceededError`.  Frames that are malformed,
+oversized or of an unsupported version are answered with protocol error
+frames (codes ``malformed-frame``, ``frame-too-large``,
+``unsupported-version``, ``unknown-op``) without closing the connection.
+
+This module is transport-agnostic except for two small helpers per transport
+flavour: :func:`read_frame` / :func:`write_frame` for ``asyncio`` streams and
+:func:`recv_frame` / :func:`send_frame` for blocking sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    BudgetExceededError,
+    ConditioningError,
+    DescriptorError,
+    InconsistentDescriptorError,
+    InvalidDistributionError,
+    ProtocolError,
+    QueryError,
+    RemoteError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+    UnknownAttributeError,
+    UnknownRelationError,
+    UnknownValueError,
+    UnknownVariableError,
+    WorldTableError,
+    ZeroProbabilityConditionError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.executor import QueryResult
+
+#: Version carried by every frame; the server rejects every other value.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``python -m repro.server`` (the paper's year).
+DEFAULT_PORT = 2008
+
+#: Default upper bound on one frame's payload size (requests and responses).
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: The 4-byte big-endian unsigned length prefix of every frame.
+HEADER = struct.Struct(">I")
+
+#: Operations the server understands.
+OPS = ("ping", "stats", "confidence", "confidence_batch", "execute", "execute_script")
+
+#: Exception class -> wire error code, most specific classes first (the first
+#: ``isinstance`` match wins, so subclasses must precede their bases).
+ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
+    (BudgetExceededError, "budget-exceeded"),
+    (SQLSyntaxError, "sql-syntax"),
+    (UnknownRelationError, "unknown-relation"),
+    (UnknownAttributeError, "unknown-attribute"),
+    (SchemaError, "schema"),
+    (QueryError, "query"),
+    (UnknownVariableError, "unknown-variable"),
+    (UnknownValueError, "unknown-value"),
+    (InvalidDistributionError, "invalid-distribution"),
+    (WorldTableError, "world-table"),
+    (InconsistentDescriptorError, "inconsistent-descriptor"),
+    (DescriptorError, "descriptor"),
+    (ZeroProbabilityConditionError, "zero-probability-condition"),
+    (ConditioningError, "conditioning"),
+    (ReproError, "repro"),
+)
+
+#: Codes for failures of the protocol itself (no repro exception behind them).
+PROTOCOL_ERROR_CODES = (
+    "malformed-frame",
+    "frame-too-large",
+    "unsupported-version",
+    "unknown-op",
+    "connection-closed",
+    "internal",
+)
+
+
+def error_code(exception: BaseException) -> str:
+    """The wire error code for an exception (``"internal"`` if unmapped)."""
+    if isinstance(exception, ProtocolError):
+        return exception.code
+    for cls, code in ERROR_CODES:
+        if isinstance(exception, cls):
+            return code
+    return "internal"
+
+
+def error_detail(exception: BaseException) -> dict:
+    """Structured, JSON-safe fields of an exception for the error frame.
+
+    Lets :func:`exception_for` rebuild exceptions whose constructors take
+    more than a message (relation/attribute/variable names, budget figures).
+    """
+    if isinstance(exception, UnknownRelationError):
+        return {"name": exception.name}
+    if isinstance(exception, UnknownAttributeError):
+        return {"attribute": exception.attribute, "schema": list(exception.schema)}
+    if isinstance(exception, UnknownValueError):
+        return {
+            "variable": _jsonable(exception.variable),
+            "value": _jsonable(exception.value),
+        }
+    if isinstance(exception, UnknownVariableError):
+        return {"variable": _jsonable(exception.variable)}
+    if isinstance(exception, BudgetExceededError):
+        detail = {}
+        if exception.elapsed is not None:
+            detail["elapsed"] = exception.elapsed
+        if exception.nodes is not None:
+            detail["nodes"] = exception.nodes
+        return detail
+    return {}
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def exception_for(code: str, message: str, detail: dict | None = None) -> ReproError:
+    """The local exception a client should raise for a remote error frame.
+
+    Structured classes are rebuilt from ``detail`` (see :func:`error_detail`);
+    unknown codes become :class:`~repro.errors.RemoteError`.
+    """
+    detail = detail or {}
+    if code == "unknown-relation":
+        return UnknownRelationError(detail.get("name", message))
+    if code == "unknown-attribute":
+        return UnknownAttributeError(
+            detail.get("attribute", message), tuple(detail.get("schema", ()))
+        )
+    if code == "unknown-variable":
+        return UnknownVariableError(detail.get("variable", message))
+    if code == "unknown-value":
+        return UnknownValueError(detail.get("variable", message), detail.get("value"))
+    if code == "budget-exceeded":
+        return BudgetExceededError(
+            message, elapsed=detail.get("elapsed"), nodes=detail.get("nodes")
+        )
+    plain: dict[str, type[ReproError]] = {
+        "sql-syntax": SQLSyntaxError,
+        "schema": SchemaError,
+        "query": QueryError,
+        "invalid-distribution": InvalidDistributionError,
+        "world-table": WorldTableError,
+        "inconsistent-descriptor": InconsistentDescriptorError,
+        "descriptor": DescriptorError,
+        "zero-probability-condition": ZeroProbabilityConditionError,
+        "conditioning": ConditioningError,
+        "repro": ReproError,
+    }
+    cls = plain.get(code)
+    if cls is not None:
+        return cls(message)
+    if code in PROTOCOL_ERROR_CODES:
+        return ProtocolError(message, code=code)
+    return RemoteError(code, message)
+
+
+# ----------------------------------------------------------------------
+# Frame construction
+# ----------------------------------------------------------------------
+def request_frame(op: str, args: dict | None = None, *, id: int) -> dict:
+    """A request frame for ``op`` (client side)."""
+    return {"v": PROTOCOL_VERSION, "id": id, "op": op, "args": args or {}}
+
+
+def ok_frame(id: object, result: object) -> dict:
+    """A success response echoing the request ``id``."""
+    return {"v": PROTOCOL_VERSION, "id": id, "ok": True, "result": result}
+
+
+def error_frame(id: object, code: str, message: str, detail: dict | None = None) -> dict:
+    """An error response; ``id`` is ``None`` when the request had none."""
+    error: dict = {"code": code, "message": message}
+    if detail:
+        error["detail"] = detail
+    return {"v": PROTOCOL_VERSION, "id": id, "ok": False, "error": error}
+
+
+def encode_frame(payload: dict, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialise one frame: length prefix plus compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise _too_large_error(len(body), max_frame_bytes)
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame body; raises :class:`ProtocolError` unless it is a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# QueryResult codec (SQL answers on the wire)
+# ----------------------------------------------------------------------
+def query_result_to_payload(result: "QueryResult") -> dict:
+    """Encode a SQL :class:`~repro.sql.executor.QueryResult`.
+
+    Only the relational surface travels — kind, columns, rows and the
+    confidence value; the answer U-relation and ws-set stay server-side
+    (clients needing lineage should query ``conf()`` columns explicitly).
+    """
+    return {
+        "kind": result.kind,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "confidence": result.confidence,
+    }
+
+
+def query_result_from_payload(payload: dict) -> "QueryResult":
+    """Decode a :func:`query_result_to_payload` object (rows become tuples)."""
+    from repro.sql.executor import QueryResult
+
+    return QueryResult(
+        kind=payload["kind"],
+        columns=tuple(payload.get("columns", ())),
+        rows=[tuple(row) for row in payload.get("rows", ())],
+        confidence=payload.get("confidence"),
+    )
+
+
+def _too_large_error(length: int, max_frame_bytes: int) -> ProtocolError:
+    """The error raised after an oversized frame has been drained."""
+    return ProtocolError(
+        f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit",
+        code="frame-too-large",
+    )
+
+
+def _drain_interrupted_error() -> ProtocolError:
+    return ProtocolError(
+        "connection closed while draining an oversized frame",
+        code="connection-closed",
+    )
+
+
+# ----------------------------------------------------------------------
+# asyncio-stream transport
+# ----------------------------------------------------------------------
+async def write_frame(writer: asyncio.StreamWriter, payload: dict,
+                      *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+    """Encode and send one frame, draining the writer."""
+    writer.write(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+    await writer.drain()
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    An oversized frame is *drained* (its announced bytes are read and
+    discarded, keeping the stream synchronised) and then reported as a
+    ``frame-too-large`` :class:`ProtocolError`, so servers can answer with an
+    error frame and keep the connection alive.
+    """
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-header", code="connection-closed") from error
+    (length,) = HEADER.unpack(header)
+    if length > max_frame_bytes:
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(remaining, 1 << 16))
+            if not chunk:
+                raise _drain_interrupted_error()
+            remaining -= len(chunk)
+        raise _too_large_error(length, max_frame_bytes)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame", code="connection-closed") from error
+    return decode_payload(body)
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket transport
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: dict,
+               *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+    """Encode and send one frame on a blocking socket."""
+    sock.sendall(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+
+
+def recv_frame(sock: socket.socket,
+               *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from a blocking socket; ``None`` on clean EOF.
+
+    Mirrors :func:`read_frame`: an oversized frame is drained in full before
+    the ``frame-too-large`` error is raised, so the stream stays
+    synchronised and the connection remains usable.
+    """
+    header = _recv_exactly(sock, HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > max_frame_bytes:
+        remaining = length
+        while remaining > 0:
+            chunk = sock.recv(min(remaining, 1 << 16))
+            if not chunk:
+                raise _drain_interrupted_error()
+            remaining -= len(chunk)
+        raise _too_large_error(length, max_frame_bytes)
+    body = _recv_exactly(sock, length, allow_eof=False)
+    return decode_payload(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int, *, allow_eof: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

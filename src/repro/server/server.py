@@ -1,0 +1,404 @@
+"""The asyncio TCP confidence server.
+
+A :class:`ConfidenceServer` owns one
+:class:`~repro.db.database.ProbabilisticDatabase` and a
+:class:`~repro.db.session.SessionPool` over it, and serves the wire protocol
+of :mod:`repro.server.protocol` to any number of concurrent connections.
+Because every pool member wraps the same session, all connections share one
+engine handle — one interned id space and one memo cache — so a sub-problem
+solved for one client is a memo hit for every other client (the whole point
+of server mode over per-process sessions).
+
+Request handling is deliberately forgiving: malformed JSON, oversized frames,
+unsupported protocol versions and unknown operations are answered with error
+frames on the same connection instead of dropping it, and any
+:class:`~repro.errors.ReproError` raised by a computation travels back as a
+structured error frame with a stable code.  Only transport-level failures
+(EOF, truncated frames) close a connection — and never the server.
+
+Typical embedded use::
+
+    server = ConfidenceServer(database, port=0)
+    await server.start()
+    host, port = server.address
+    ...
+    await server.stop()
+
+``python -m repro.server`` wraps this in a CLI with workload bootstrapping
+and graceful signal-driven shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import time
+from typing import TYPE_CHECKING
+
+from repro.db.session import ConfidenceRequest, SessionPool
+from repro.errors import ProtocolError, QueryError, ReproError
+from repro.server import protocol
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    error_frame,
+    ok_frame,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.probability import ExactConfig
+    from repro.db.database import ProbabilisticDatabase
+
+logger = logging.getLogger("repro.server")
+
+#: ConfidenceRequest option names accepted in ``confidence_batch`` frames.
+_BATCH_OPTIONS = ("epsilon", "delta", "seed", "max_calls", "time_limit", "hybrid_scale")
+
+
+class _ReadWriteGate:
+    """An asyncio readers-writer gate for database-mutating requests.
+
+    Confidence reads run shared; SQL containing an ``assert`` statement runs
+    exclusive, so conditioning never swaps the world table and relations out
+    from under a concurrent read (the two-assignment swap in
+    ``ProbabilisticDatabase.assert_condition`` is not atomic).
+    """
+
+    def __init__(self) -> None:
+        self._condition = asyncio.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    async def __aenter__(self) -> None:  # shared (read) side
+        async with self._condition:
+            # Writer preference: once a writer queues, new readers wait, so
+            # sustained read traffic cannot starve conditioning forever.
+            while self._writing or self._writers_waiting:
+                await self._condition.wait()
+            self._readers += 1
+
+    async def __aexit__(self, *exc_info) -> None:
+        async with self._condition:
+            self._readers -= 1
+            if not self._readers:
+                self._condition.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def exclusive(self):
+        async with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await self._condition.wait()
+                self._writing = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            async with self._condition:
+                self._writing = False
+                self._condition.notify_all()
+
+
+class ConfidenceServer:
+    """One shared probabilistic database behind a TCP wire protocol."""
+
+    def __init__(
+        self,
+        database: "ProbabilisticDatabase",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: int = 4,
+        config: "ExactConfig | None" = None,
+        memo_limit: int | None = None,
+        workers: int | None = None,
+        epsilon: float = 0.1,
+        delta: float = 0.01,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.database = database
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        options = {"epsilon": epsilon, "delta": delta, "workers": workers}
+        if memo_limit is not None:
+            options["memo_limit"] = memo_limit
+        self._pool = SessionPool(database, config, size=pool_size, **options)
+        self._gate = _ReadWriteGate()
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._started = time.monotonic()
+        self._connections_total = 0
+        self._requests_total = 0
+        self._errors_total = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` to the real port)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def pool(self) -> SessionPool:
+        """The shared session pool (exposed for bootstrap scripts and tests)."""
+        return self._pool
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI wraps this with signal handling)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, close open connections, release the session pool.
+
+        Never blocks on client computations: the pool is closed without
+        joining its worker threads, so a still-running unbounded exact
+        computation cannot hold up shutdown — its connection is gone and its
+        thread finishes in the background (interpreter exit still joins it;
+        give server-facing requests budgets to bound that tail).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # already torn down
+                pass
+        self._writers.clear()
+        self._pool.close(wait=False)
+
+    async def bootstrap(self, sql: str) -> None:
+        """Run a ``;``-separated SQL script through the shared session.
+
+        Used by the CLI's ``--load`` flag *before* :meth:`start`, so no
+        client can observe the pre-bootstrap database: conditioning asserts
+        shape the database, ``conf()`` queries pre-warm the memo cache.
+        """
+        member = self._pool.acquire()
+        async with self._gate.exclusive():
+            await member.execute_script(sql)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections_total += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(
+                        reader, max_frame_bytes=self._max_frame_bytes
+                    )
+                except ProtocolError as error:
+                    if error.code == "connection-closed":
+                        break  # truncated stream: nothing sensible to answer
+                    # Oversized payloads were drained and malformed bodies
+                    # consumed whole; the stream is still synchronised, so
+                    # answer with an error frame and carry on.
+                    await self._send_error(writer, None, error.code, str(error))
+                    continue
+                if frame is None:
+                    break  # clean EOF
+                response = await self._respond(frame)
+                try:
+                    await protocol.write_frame(
+                        writer, response, max_frame_bytes=self._max_frame_bytes
+                    )
+                except ProtocolError as error:
+                    # The *response* outgrew the frame bound (e.g. a huge SQL
+                    # answer): replace it with a small error frame instead of
+                    # dropping the connection.
+                    await self._send_error(
+                        writer, response.get("id"), error.code, str(error)
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, id: object, code: str, message: str
+    ) -> None:
+        self._errors_total += 1
+        await protocol.write_frame(
+            writer, error_frame(id, code, message),
+            max_frame_bytes=self._max_frame_bytes,
+        )
+
+    async def _respond(self, frame: dict) -> dict:
+        """Map one request frame onto one response frame (never raises)."""
+        id = frame.get("id")
+        if not (id is None or isinstance(id, (int, str))):
+            id = None
+        if frame.get("v") != PROTOCOL_VERSION:
+            self._errors_total += 1
+            return error_frame(
+                id,
+                "unsupported-version",
+                f"this server speaks protocol version {PROTOCOL_VERSION}, "
+                f"got {frame.get('v')!r}",
+            )
+        op = frame.get("op")
+        if op not in protocol.OPS:
+            self._errors_total += 1
+            return error_frame(
+                id, "unknown-op",
+                f"unknown operation {op!r}; known: {', '.join(protocol.OPS)}",
+            )
+        args = frame.get("args") or {}
+        if not isinstance(args, dict):
+            self._errors_total += 1
+            return error_frame(id, "malformed-frame", "args must be an object")
+        self._requests_total += 1
+        try:
+            result = await self._dispatch(op, args)
+        except ReproError as error:
+            self._errors_total += 1
+            return error_frame(
+                id, protocol.error_code(error), str(error),
+                protocol.error_detail(error),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            self._errors_total += 1
+            return error_frame(id, "malformed-frame", f"bad arguments for {op}: {error}")
+        except Exception as error:  # noqa: BLE001 - a request must never kill the server
+            logger.exception("internal error answering %s", op)
+            self._errors_total += 1
+            return error_frame(id, "internal", f"{type(error).__name__}: {error}")
+        return ok_frame(id, result)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, op: str, args: dict) -> object:
+        if op == "ping":
+            return {"pong": True, "protocol": PROTOCOL_VERSION}
+        if op == "stats":
+            # Shared gate: the database fields of the snapshot must not read
+            # a half-swapped database during an exclusive assert.
+            async with self._gate:
+                return self._stats()
+        if op == "confidence":
+            request = ConfidenceRequest.from_payload(args)
+            async with self._gate:
+                result = await self._pool.acquire().query(request)
+            return result.to_payload()
+        if op == "confidence_batch":
+            async with self._gate:
+                return await self._confidence_batch(args)
+        if op == "execute":
+            sql = self._sql_of(args)
+            async with self._exclusion_for(sql):
+                result = await self._pool.acquire().execute(sql)
+            return protocol.query_result_to_payload(result)
+        if op == "execute_script":
+            sql = self._sql_of(args)
+            async with self._exclusion_for(sql):
+                results = await self._pool.acquire().execute_script(sql)
+            return [protocol.query_result_to_payload(result) for result in results]
+        raise AssertionError(f"unreachable op {op!r}")  # pragma: no cover
+
+    def _exclusion_for(self, sql: str):
+        """The gate mode for a SQL request: exclusive iff it conditions.
+
+        ``assert`` swaps the database's world table and relations (two
+        non-atomic assignments); running it exclusively means no concurrent
+        read can observe a half-swapped database.  Plain selects share the
+        gate like confidence queries.
+        """
+        return self._gate.exclusive() if _mutates(sql) else self._gate
+
+    async def _confidence_batch(self, args: dict) -> dict:
+        relation = args.get("relation")
+        if not isinstance(relation, str):
+            raise QueryError(
+                f"confidence_batch needs a relation name, got {relation!r}"
+            )
+        unknown = set(args) - {"relation", "method", *_BATCH_OPTIONS}
+        if unknown:
+            # A misspelled option (say max_call) must error like the local
+            # API would, not silently run without the budget it asked for.
+            raise QueryError(f"unknown confidence_batch options {sorted(unknown)}")
+        options = {
+            name: args[name]
+            for name in _BATCH_OPTIONS
+            if args.get(name) is not None
+        }
+        rows = await self._pool.acquire().confidence_batch(
+            relation, args.get("method", "exact"), **options
+        )
+        return {
+            "rows": [
+                {"values": list(row.values), "confidence": row.confidence}
+                for row in rows
+            ]
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "engine": self._pool.statistics().as_dict(),
+            "server": {
+                "protocol": PROTOCOL_VERSION,
+                "pool_size": self._pool.size,
+                "connections_total": self._connections_total,
+                "connections_open": len(self._writers),
+                "requests_total": self._requests_total,
+                "errors_total": self._errors_total,
+                "uptime_seconds": time.monotonic() - self._started,
+                "relations": list(self.database.relation_names),
+                "variables": len(self.database.world_table),
+            },
+        }
+
+    @staticmethod
+    def _sql_of(args: dict) -> str:
+        sql = args.get("sql")
+        if not isinstance(sql, str):
+            raise QueryError(f"execute needs a SQL string, got {sql!r}")
+        return sql
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._server is None else "%s:%s" % self.address
+        return f"ConfidenceServer({state}, pool={self._pool.size})"
+
+
+def _mutates(sql: str) -> bool:
+    """True iff any statement of the (possibly ``;``-separated) SQL conditions."""
+    from repro.sql.executor import split_statements
+
+    return any(
+        statement.lstrip().lower().startswith("assert")
+        for statement in split_statements(sql)
+    )

@@ -208,6 +208,60 @@ def test_session_hybrid_stays_exact_when_budget_suffices():
     assert abs(result.value - probability(instance.ws_set, instance.world_table)) < 1e-12
 
 
+def test_adaptive_hybrid_budget_scales_with_instance_size():
+    from repro.db.session import (
+        DEFAULT_HYBRID_MAX_CALLS,
+        HYBRID_BUDGET_FLOOR,
+        adaptive_hybrid_budget,
+    )
+
+    tiny = adaptive_hybrid_budget(1, 1)
+    medium = adaptive_hybrid_budget(64, 16)
+    huge = adaptive_hybrid_budget(100_000, 1_000)
+    assert tiny == HYBRID_BUDGET_FLOOR
+    assert tiny < medium < huge
+    # The default-scale budget never exceeds the historical constant ...
+    assert huge == DEFAULT_HYBRID_MAX_CALLS
+    # ... but the scale knob can push past it (or force an early fallback).
+    assert adaptive_hybrid_budget(100_000, 1_000, scale=2.0) == 2 * DEFAULT_HYBRID_MAX_CALLS
+    assert adaptive_hybrid_budget(64, 16, scale=1e-6) == 1
+
+
+def test_session_hybrid_scale_knob_forces_fallback():
+    instance = hard_instance(num_descriptors=64)
+    session = Session(instance.world_table, seed=9)
+    exact = session.confidence(instance.ws_set, method="hybrid")
+    assert exact.method == "exact" and not exact.fell_back
+
+    # A tiny per-request scale shrinks the adaptive budget to almost nothing,
+    # so the same query on a *cold* session falls back to Karp-Luby (on the
+    # warm session above it would be answered from the memo within any
+    # budget — that is the point of the shared cache).
+    scaled = Session(instance.world_table, seed=9).query(
+        ConfidenceRequest(instance.ws_set, method="hybrid", hybrid_scale=1e-6)
+    )
+    assert scaled.fell_back and scaled.method == "karp_luby"
+
+    # The session-level knob does the same for every request of a session.
+    eager = Session(instance.world_table, seed=9, hybrid_scale=1e-6)
+    result = eager.confidence(instance.ws_set, method="hybrid")
+    assert result.fell_back and result.method == "karp_luby"
+
+
+def test_session_hybrid_explicit_budget_overrides_adaptive(monkeypatch):
+    import repro.db.session as session_module
+
+    # With an explicit max_calls the adaptive derivation must not run at all.
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("adaptive budget used despite explicit max_calls")
+
+    monkeypatch.setattr(session_module, "adaptive_hybrid_budget", boom)
+    instance = hard_instance(num_descriptors=16)
+    session = Session(instance.world_table, seed=2)
+    result = session.confidence(instance.ws_set, method="hybrid", max_calls=50_000)
+    assert result.method in ("exact", "karp_luby")
+
+
 def test_session_hybrid_uses_default_budget_when_none_given(monkeypatch):
     # Without any request/session budget the exact leg still gets the default
     # call budget, so pathological instances cannot hang a budgetless hybrid
@@ -304,6 +358,42 @@ def test_bounded_memo_session_cache_clears_oldest_half():
     assert len(memo) == 6
     with pytest.raises(ValueError):
         BoundedMemo(1)
+
+
+# ----------------------------------------------------------------------
+# Session pools and shared engine handles
+# ----------------------------------------------------------------------
+def test_session_pool_members_share_one_engine_handle():
+    from repro.db.session import SessionPool
+
+    instance = hard_instance(num_descriptors=48)
+    with SessionPool(instance.world_table, size=3, seed=5) as pool:
+        assert pool.size == 3
+        members = {pool.acquire() for _ in range(6)}
+        assert len(members) == 3  # round-robin over exactly `size` members
+        sessions = {member.session for member in members}
+        assert len(sessions) == 3  # ... each wrapping its own Session
+        handles = {session.handle for session in sessions}
+        assert handles == {pool.session.handle}  # ... over ONE shared handle
+
+        # A query through one member warms the memo for every other member.
+        first = asyncio.run(pool.acquire().confidence(instance.ws_set))
+        hits_before = pool.statistics().memo_hits
+        second = asyncio.run(pool.acquire().confidence(instance.ws_set))
+        assert second.value == first.value
+        assert pool.statistics().memo_hits > hits_before
+
+    with pytest.raises(ValueError, match="at least 1"):
+        SessionPool(instance.world_table, size=0)
+
+
+def test_session_with_shared_handle_rejects_conflicting_config():
+    instance = hard_instance(num_descriptors=8)
+    primary = Session(instance.world_table)
+    shared = Session(instance.world_table, handle=primary.handle)
+    assert shared.config is primary.config
+    with pytest.raises(QueryError, match="not both"):
+        Session(instance.world_table, ExactConfig(), handle=primary.handle)
 
 
 # ----------------------------------------------------------------------

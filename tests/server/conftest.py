@@ -1,0 +1,72 @@
+"""Fixtures for the confidence-server tests: an in-process server on a thread."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.db.database import ProbabilisticDatabase
+from repro.server.server import ConfidenceServer
+
+
+class ServerThread:
+    """A :class:`ConfidenceServer` running its own event loop on a thread.
+
+    Entering the context starts the server on an ephemeral port and returns
+    this handle; ``host``/``port`` identify the listener, ``server`` is the
+    live instance (e.g. for pool statistics).  Exit requests a graceful stop
+    and joins the thread.
+    """
+
+    def __init__(self, database: ProbabilisticDatabase, **server_options) -> None:
+        self._database = database
+        self._options = {"port": 0, **server_options}
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+        self.server: ConfidenceServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("server thread did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            assert not self._thread.is_alive(), "server thread failed to stop"
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self.server = ConfidenceServer(self._database, **self._options)
+                self.host, self.port = await self.server.start()
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+            except BaseException as error:  # surface config errors to the test
+                self._startup_error = error
+                self._started.set()
+                raise
+            self._started.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+
+@pytest.fixture
+def running_server():
+    """Factory fixture: ``running_server(database, **options)`` context."""
+    return ServerThread

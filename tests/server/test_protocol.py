@@ -1,0 +1,162 @@
+"""Unit tests of the wire protocol: framing, codecs and error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineStats
+from repro.core.wsset import WSSet
+from repro.db.session import (
+    ConfidenceRequest,
+    ConfidenceResult,
+    target_from_payload,
+    target_to_payload,
+)
+from repro.errors import (
+    BudgetExceededError,
+    ProtocolError,
+    QueryError,
+    RemoteError,
+    SQLSyntaxError,
+    UnknownAttributeError,
+    UnknownRelationError,
+    UnknownValueError,
+    UnknownVariableError,
+)
+from repro.server import protocol
+from repro.sql.executor import QueryResult
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        frame = protocol.request_frame("ping", {"x": [1, 2]}, id=3)
+        encoded = protocol.encode_frame(frame)
+        (length,) = protocol.HEADER.unpack(encoded[: protocol.HEADER.size])
+        assert length == len(encoded) - protocol.HEADER.size
+        assert protocol.decode_payload(encoded[protocol.HEADER.size:]) == frame
+
+    def test_encode_rejects_oversized_frames(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"blob": "x" * 100}, max_frame_bytes=50)
+
+    def test_decode_rejects_garbage_and_non_objects(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_payload(b"\xff\x00 garbage")
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            protocol.decode_payload(b"[1, 2, 3]")
+
+
+class TestErrorMapping:
+    def test_error_codes_cover_the_exception_hierarchy(self):
+        assert protocol.error_code(BudgetExceededError("x")) == "budget-exceeded"
+        assert protocol.error_code(SQLSyntaxError("x")) == "sql-syntax"
+        assert protocol.error_code(UnknownRelationError("R")) == "unknown-relation"
+        assert protocol.error_code(QueryError("x")) == "query"
+        assert protocol.error_code(ProtocolError("x", code="unknown-op")) == "unknown-op"
+        assert protocol.error_code(RuntimeError("x")) == "internal"
+
+    def test_subclasses_map_before_their_bases(self):
+        # The registry is ordered; every class must be hit before any base.
+        seen: list[type] = []
+        for cls, _ in protocol.ERROR_CODES:
+            assert not any(issubclass(cls, earlier) for earlier in seen), cls
+            seen.append(cls)
+
+    def test_structured_exceptions_round_trip_through_detail(self):
+        relation_error = UnknownRelationError("ORDERS")
+        rebuilt = protocol.exception_for(
+            protocol.error_code(relation_error),
+            str(relation_error),
+            protocol.error_detail(relation_error),
+        )
+        assert isinstance(rebuilt, UnknownRelationError)
+        assert rebuilt.name == "ORDERS"
+
+        attribute_error = UnknownAttributeError("x", ("a", "b"))
+        rebuilt = protocol.exception_for(
+            "unknown-attribute", str(attribute_error),
+            protocol.error_detail(attribute_error),
+        )
+        assert isinstance(rebuilt, UnknownAttributeError)
+        assert rebuilt.attribute == "x" and rebuilt.schema == ("a", "b")
+
+        value_error = UnknownValueError("x", 42)
+        rebuilt = protocol.exception_for(
+            "unknown-value", str(value_error), protocol.error_detail(value_error)
+        )
+        assert isinstance(rebuilt, UnknownValueError)
+        assert rebuilt.variable == "x" and rebuilt.value == 42
+
+        variable_error = UnknownVariableError("v9")
+        rebuilt = protocol.exception_for(
+            "unknown-variable", str(variable_error),
+            protocol.error_detail(variable_error),
+        )
+        assert isinstance(rebuilt, UnknownVariableError)
+        assert rebuilt.variable == "v9"
+
+        budget_error = BudgetExceededError("over", elapsed=1.5, nodes=42)
+        rebuilt = protocol.exception_for(
+            "budget-exceeded", str(budget_error), protocol.error_detail(budget_error)
+        )
+        assert isinstance(rebuilt, BudgetExceededError)
+        assert rebuilt.elapsed == 1.5 and rebuilt.nodes == 42
+
+    def test_unknown_code_degrades_to_remote_error(self):
+        error = protocol.exception_for("flux-capacitor", "boom")
+        assert isinstance(error, RemoteError)
+        assert error.code == "flux-capacitor"
+
+
+class TestPayloadCodecs:
+    def test_target_round_trip_for_relation_names_and_wssets(self):
+        assert target_from_payload(target_to_payload("R")) == "R"
+        ws_set = WSSet([{"x": 1, "y": 2}, {"z": 0}])
+        assert target_from_payload(target_to_payload(ws_set)) == ws_set
+
+    def test_target_payload_rejects_malformed_input(self):
+        with pytest.raises(ValueError):
+            target_from_payload({"kind": "galaxy"})
+        with pytest.raises(ValueError):
+            target_from_payload({"kind": "relation", "name": 7})
+        with pytest.raises(ValueError):
+            target_from_payload("not an object")
+
+    def test_request_payload_rejects_unknown_fields(self):
+        payload = ConfidenceRequest(WSSet([{"x": 1}]), max_calls=10).to_payload()
+        payload["max_call"] = 5  # a typo must error, not silently drop a budget
+        with pytest.raises(ValueError, match="unknown confidence request fields"):
+            ConfidenceRequest.from_payload(payload)
+
+    def test_request_round_trip_preserves_options(self):
+        request = ConfidenceRequest(
+            WSSet([{"x": 1}]), "hybrid",
+            epsilon=0.2, delta=0.05, seed=11, max_calls=500, hybrid_scale=2.0,
+        )
+        rebuilt = ConfidenceRequest.from_payload(request.to_payload())
+        assert rebuilt == request
+
+    def test_result_round_trip_preserves_stats(self):
+        result = ConfidenceResult(
+            0.75, "karp_luby", "hybrid",
+            epsilon=0.1, delta=0.01, iterations=321,
+            fell_back=True, fallback_reason="budget", wall_time=0.5,
+            stats=EngineStats(computations=3, frames=100, memo_hits=40),
+        )
+        rebuilt = ConfidenceResult.from_payload(result.to_payload())
+        assert rebuilt == result
+        assert rebuilt.stats.memo_hit_rate == pytest.approx(0.4)
+
+    def test_query_result_round_trip(self):
+        result = QueryResult(
+            kind="confidence",
+            columns=("SSN", "conf"),
+            rows=[(4, 0.3), (7, 0.7)],
+            confidence=None,
+        )
+        rebuilt = protocol.query_result_from_payload(
+            protocol.query_result_to_payload(result)
+        )
+        assert rebuilt.kind == result.kind
+        assert rebuilt.columns == result.columns
+        assert rebuilt.rows == result.rows

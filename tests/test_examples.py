@@ -34,6 +34,7 @@ def test_examples_directory_contents():
         "sensor_monitoring.py",
         "tpch_confidence.py",
         "hard_instances.py",
+        "server_quickstart.py",
     } <= names
 
 
@@ -86,6 +87,15 @@ def test_tpch_confidence_example(monkeypatch, capsys, scale):
     assert "exact confidence" in output
     assert "Karp-Luby" in output
     assert "via SQL front end" in output
+
+
+def test_server_quickstart_round_trips_over_tcp(capsys):
+    module = load_example("server_quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "P(R nonempty) = 1.0000 via exact" in output
+    assert "(4, 'Bill'): 0.3000" in output
+    assert "server stopped cleanly" in output
 
 
 def test_hard_instances_example(capsys):
