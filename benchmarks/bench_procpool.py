@@ -1,0 +1,416 @@
+"""Process-pool executor: multi-core exact confidence vs the serial engine.
+
+Three measurements, all on Figure 11a (#P-hard) material:
+
+1. **Component fan-out** (engine level): one query whose ws-set is the union
+   of K variable-disjoint Figure 11a instances — a K-way top-level ⊗-node.
+   ``ExactConfig(executor="process")`` ships the components to the worker
+   processes; the serial engine walks them one by one.  Results must be
+   bit-identical.
+
+2. **Server cold queries** (system level): a real ``python -m repro.server``
+   subprocess serving a Figure 11a instance; one ``confidence_many`` frame
+   carrying a pool of non-overlapping slice queries (distinct lineage — no
+   memo reuse between them).  ``--executor process --workers N`` fans the
+   batch across cores; ``--executor serial`` computes it one query at a
+   time.  Values must agree with a local session to the bit.
+
+3. **Round-trip elimination**: the same batch issued as looped
+   ``confidence`` calls vs one ``confidence_many`` frame, repeated on a warm
+   memo so protocol overhead dominates — the per-request p99 of the batched
+   path must beat the looped path.
+
+Speedup floors are enforced only when the machine actually has the cores:
+the *ratio* targets (≥2.5x at 4 workers, ≥1.3x at 2 workers in ``--quick``
+mode) assume ≥4 (resp. ≥2) usable CPUs; on smaller machines the numbers are
+recorded but not asserted, and the report says so.
+
+Run directly to print the table and record ``BENCH_procpool.json``::
+
+    PYTHONPATH=src python benchmarks/bench_procpool.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import EngineHandle
+from repro.core.probability import ExactConfig
+from repro.core.wsset import WSSet
+from repro.db.session import Session
+from repro.db.world_table import WorldTable
+from repro.server.client import connect
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_NAME = "BENCH_procpool.json"
+
+#: Figure 11a parameters of one component / of the served instance.
+NUM_VARIABLES = 16
+ALTERNATIVES = 2
+DESCRIPTOR_LENGTH = 4
+
+#: Full-mode workload sizes (quick mode shrinks these).
+FANOUT_COMPONENTS = 8
+FANOUT_DESCRIPTORS = 56
+SERVER_DESCRIPTORS = 288
+SERVER_QUERIES = 8
+SERVER_SLICE = 36
+ROUNDTRIP_REPETITIONS = 60
+
+WORKERS = 4
+TARGET_SPEEDUP = 2.5
+QUICK_WORKERS = 2
+QUICK_TARGET_SPEEDUP = 1.3
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# 1. Component fan-out (engine level)
+# ----------------------------------------------------------------------
+def build_fanout_instance(components: int, descriptors: int):
+    """The union of ``components`` disjoint Figure 11a instances.
+
+    Variables of component ``c`` are prefixed ``g{c}.``, so the ws-set has
+    exactly ``components`` top-level ⊗-components of ``descriptors``
+    descriptors each.
+    """
+    world_table = WorldTable()
+    union = []
+    for component in range(components):
+        instance = generate_hard_instance(
+            HardCaseParameters(
+                num_variables=NUM_VARIABLES,
+                alternatives=ALTERNATIVES,
+                descriptor_length=DESCRIPTOR_LENGTH,
+                num_descriptors=descriptors,
+                seed=component,
+            )
+        )
+        rename = {
+            variable: f"g{component}.{variable}"
+            for variable in instance.world_table.variables
+        }
+        for variable in instance.world_table.variables:
+            world_table.add_variable(
+                rename[variable], instance.world_table.distribution(variable)
+            )
+        for descriptor in instance.ws_set:
+            union.append(
+                {rename[variable]: value for variable, value in descriptor.items()}
+            )
+    return world_table, WSSet(union)
+
+
+def measure_fanout(components: int, descriptors: int, workers: int) -> dict:
+    world_table, ws_set = build_fanout_instance(components, descriptors)
+
+    serial_handle = EngineHandle(world_table, ExactConfig())
+    started = time.perf_counter()
+    serial_value = serial_handle.probability(ws_set)
+    serial_seconds = time.perf_counter() - started
+
+    process_handle = EngineHandle(
+        world_table, ExactConfig(executor="process"), workers=workers
+    )
+    try:
+        process_handle.warm_up()  # spawn cost must not pollute the timing
+        started = time.perf_counter()
+        process_value = process_handle.probability(ws_set)
+        process_seconds = time.perf_counter() - started
+    finally:
+        process_handle.close()
+
+    assert process_value == serial_value, (
+        f"process executor diverged: {process_value} != {serial_value}"
+    )
+    return {
+        "components": components,
+        "descriptors_per_component": descriptors,
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "process_seconds": round(process_seconds, 4),
+        "speedup": round(serial_seconds / process_seconds, 2),
+        "bit_identical": True,
+        "value": serial_value,
+    }
+
+
+# ----------------------------------------------------------------------
+# 2 + 3. Server scenarios
+# ----------------------------------------------------------------------
+def start_server(num_descriptors: int, executor: str, workers: int, pool: int):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    spec = (
+        f"figure11a:n={NUM_VARIABLES},r={ALTERNATIVES},"
+        f"s={DESCRIPTOR_LENGTH},w={num_descriptors},seed=0"
+    )
+    command = [
+        sys.executable, "-m", "repro.server",
+        "--port", "0", "--pool", str(pool), "--workload", spec,
+        "--executor", executor,
+    ]
+    if executor == "process":
+        command += ["--workers", str(workers)]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    banner = process.stdout.readline().strip()
+    match = re.fullmatch(r"listening on (.+):(\d+)", banner)
+    if not match:
+        process.kill()
+        raise RuntimeError(
+            f"server failed to start: {banner!r} / {process.stderr.read()}"
+        )
+    return process, match.group(1), int(match.group(2))
+
+
+def stop_server(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.communicate(timeout=30)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        process.kill()
+        process.communicate()
+
+
+def build_server_queries(num_descriptors: int, queries: int, size: int):
+    """Non-overlapping slices: distinct lineage, so no cross-query memo reuse."""
+    instance = generate_hard_instance(
+        HardCaseParameters(
+            num_variables=NUM_VARIABLES,
+            alternatives=ALTERNATIVES,
+            descriptor_length=DESCRIPTOR_LENGTH,
+            num_descriptors=num_descriptors,
+            seed=0,
+        )
+    )
+    descriptors = list(instance.ws_set)
+    pool = [WSSet(descriptors[index * size : (index + 1) * size]) for index in range(queries)]
+    return instance, pool
+
+
+def measure_server_cold_batch(
+    executor: str, workers: int, num_descriptors: int, pool: list, expected: list
+) -> dict:
+    """One cold ``confidence_many`` batch against a fresh server."""
+    process, host, port = start_server(
+        num_descriptors, executor, workers, pool=max(8, len(pool))
+    )
+    try:
+        with connect(host, port) as session:
+            session.ping()  # connection warm-up outside the timed region
+            started = time.perf_counter()
+            results = session.confidence_many(pool)
+            wall = time.perf_counter() - started
+    finally:
+        stop_server(process)
+    values = [result.value for result in results]
+    for index, (value, reference) in enumerate(zip(values, expected)):
+        assert value == reference, (
+            f"{executor} query {index}: {value} != {reference}"
+        )
+    return {
+        "executor": executor,
+        "workers": workers if executor == "process" else 0,
+        "queries": len(pool),
+        "wall_seconds": round(wall, 4),
+        "bit_identical": True,
+    }
+
+
+def measure_roundtrips(
+    num_descriptors: int, pool: list, repetitions: int, workers: int
+) -> dict:
+    """Looped ``confidence`` vs one ``confidence_many`` on a warm memo."""
+    process, host, port = start_server(
+        num_descriptors, "process", workers, pool=max(8, len(pool))
+    )
+    try:
+        with connect(host, port) as session:
+            for query in pool:  # warm the shared memo once
+                session.confidence(query)
+            session.confidence_many(pool)  # ... and the batched path itself
+            looped: list[float] = []
+            batched: list[float] = []
+            for _ in range(repetitions):
+                for query in pool:
+                    started = time.perf_counter()
+                    session.confidence(query)
+                    looped.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                session.confidence_many(pool)
+                batched.append((time.perf_counter() - started) / len(pool))
+    finally:
+        stop_server(process)
+    looped_sorted = sorted(looped)
+    batched_sorted = sorted(batched)
+    return {
+        "repetitions": repetitions,
+        "queries_per_batch": len(pool),
+        "looped_per_request_ms": _latency_summary(looped),
+        "confidence_many_per_request_ms": _latency_summary(batched),
+        "p50_improvement": round(
+            _percentile(looped_sorted, 0.50) / _percentile(batched_sorted, 0.50), 2
+        ),
+        "p99_improvement": round(
+            _percentile(looped_sorted, 0.99) / _percentile(batched_sorted, 0.99), 2
+        ),
+    }
+
+
+def _latency_summary(per_request_seconds: list[float]) -> dict:
+    ordered = sorted(per_request_seconds)
+    return {
+        "mean": round(1000 * statistics.fmean(ordered), 4),
+        "p50": round(1000 * _percentile(ordered, 0.50), 4),
+        "p99": round(1000 * _percentile(ordered, 0.99), 4),
+        "max": round(1000 * ordered[-1], 4),
+    }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def main(argv: list[str] | None = None) -> Path:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload, 2 workers, 1.3x floor (CI smoke)",
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / REPORT_NAME)
+    arguments = parser.parse_args(argv)
+
+    quick = arguments.quick
+    workers = QUICK_WORKERS if quick else WORKERS
+    target = QUICK_TARGET_SPEEDUP if quick else TARGET_SPEEDUP
+    cpus = usable_cpus()
+    enforce = cpus >= workers
+    if not enforce:
+        print(
+            f"note: only {cpus} usable CPU(s) for {workers} workers — speedup "
+            f"floors are recorded but not enforced on this machine"
+        )
+
+    fanout_components = 4 if quick else FANOUT_COMPONENTS
+    fanout_descriptors = 40 if quick else FANOUT_DESCRIPTORS
+    server_descriptors = 144 if quick else SERVER_DESCRIPTORS
+    server_queries = 4 if quick else SERVER_QUERIES
+    server_slice = SERVER_SLICE
+    repetitions = 10 if quick else ROUNDTRIP_REPETITIONS
+
+    print(
+        f"1) component fan-out: {fanout_components} disjoint Figure 11a "
+        f"components x {fanout_descriptors} descriptors, {workers} workers"
+    )
+    fanout = measure_fanout(fanout_components, fanout_descriptors, workers)
+    print(
+        f"   serial {fanout['serial_seconds']:.2f}s  process "
+        f"{fanout['process_seconds']:.2f}s  -> {fanout['speedup']}x (bit-identical)"
+    )
+
+    print(
+        f"2) server cold batch: {server_queries} x {server_slice}-descriptor "
+        f"slice queries over w={server_descriptors}"
+    )
+    instance, pool = build_server_queries(
+        server_descriptors, server_queries, server_slice
+    )
+    reference = Session(instance.world_table)
+    expected = [reference.confidence(query).value for query in pool]
+    serial_scenario = measure_server_cold_batch(
+        "serial", workers, server_descriptors, pool, expected
+    )
+    process_scenario = measure_server_cold_batch(
+        "process", workers, server_descriptors, pool, expected
+    )
+    server_speedup = round(
+        serial_scenario["wall_seconds"] / process_scenario["wall_seconds"], 2
+    )
+    print(
+        f"   serial {serial_scenario['wall_seconds']:.2f}s  process "
+        f"{process_scenario['wall_seconds']:.2f}s  -> {server_speedup}x "
+        f"(values equal to local session)"
+    )
+
+    print(f"3) round trips: looped confidence vs confidence_many x {repetitions}")
+    roundtrips = measure_roundtrips(server_descriptors, pool, repetitions, workers)
+    print(
+        f"   per-request p99: looped "
+        f"{roundtrips['looped_per_request_ms']['p99']:.2f}ms  batched "
+        f"{roundtrips['confidence_many_per_request_ms']['p99']:.2f}ms  "
+        f"-> {roundtrips['p99_improvement']}x"
+    )
+
+    best_speedup = max(fanout["speedup"], server_speedup)
+    if enforce:
+        assert best_speedup >= target, (
+            f"process-executor target missed: {best_speedup}x < {target}x "
+            f"at {workers} workers on {cpus} CPUs"
+        )
+        print(f"speedup floor ok: {best_speedup}x >= {target}x")
+    # The median is the stable floor on noisy shared runners; the p99
+    # improvement is recorded alongside (the batch removes a per-request
+    # round trip, which is precisely what cuts the tail).
+    assert roundtrips["p50_improvement"] > 1.0, (
+        "confidence_many did not beat looped confidence at the median: "
+        f"{roundtrips['p50_improvement']}x"
+    )
+
+    payload = {
+        "title": "Process-pool executor vs serial on Figure 11a workloads",
+        "quick": quick,
+        "machine": {"usable_cpus": cpus, "workers": workers},
+        "target": {
+            "speedup": target,
+            "enforced": enforce,
+            "note": None
+            if enforce
+            else (
+                f"floor assumes >= {workers} usable CPUs; this machine has "
+                f"{cpus}, so the ratio is recorded unenforced"
+            ),
+        },
+        "component_fanout": fanout,
+        "server_cold_batch": {
+            "workload": {
+                "figure": "11a",
+                "num_variables": NUM_VARIABLES,
+                "alternatives": ALTERNATIVES,
+                "descriptor_length": DESCRIPTOR_LENGTH,
+                "num_descriptors": server_descriptors,
+                "queries": server_queries,
+                "slice_size": server_slice,
+            },
+            "scenarios": [serial_scenario, process_scenario],
+            "speedup": server_speedup,
+        },
+        "confidence_many_roundtrips": roundtrips,
+    }
+    arguments.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {arguments.out}")
+    return arguments.out
+
+
+if __name__ == "__main__":
+    main()

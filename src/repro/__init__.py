@@ -23,16 +23,35 @@ Quickstart
 
 from repro.core.descriptors import WSDescriptor, EMPTY_DESCRIPTOR
 from repro.core.wsset import WSSet
-from repro.core.wstree import WSTree, IndependentNode, VariableNode, LeafNode, BottomNode
+from repro.core.wstree import (
+    WSTree,
+    IndependentNode,
+    VariableNode,
+    LeafNode,
+    BottomNode,
+)
 from repro.core.decompose import compute_tree, DecompositionStats
 from repro.core.heuristics import make_heuristic, available_heuristics
-from repro.core.probability import ExactConfig, probability, probability_with_stats, confidence
+from repro.core.probability import (
+    ExactConfig,
+    probability,
+    probability_with_stats,
+    confidence,
+)
 from repro.core.engine import EngineHandle, EngineStats
 from repro.core.elimination import descriptor_elimination_probability, mutex_normal_form
-from repro.core.conditioning import condition_wsset, ConditioningResult, posterior_probability
+from repro.core.conditioning import (
+    condition_wsset,
+    ConditioningResult,
+    posterior_probability,
+)
 from repro.core.bruteforce import brute_force_probability
 
-from repro.approx import karp_luby_confidence, naive_monte_carlo_confidence, KarpLubyEstimator
+from repro.approx import (
+    karp_luby_confidence,
+    naive_monte_carlo_confidence,
+    KarpLubyEstimator,
+)
 
 from repro.db.world_table import WorldTable
 from repro.db.urelation import URelation, UTuple

@@ -75,7 +75,9 @@ def _sample_interned(
         packed = []
         for variable, value in descriptor.items():
             variable_id = variable_ids.get(variable)
-            value_id = None if variable_id is None else value_ids[variable_id].get(value)
+            value_id = (
+                None if variable_id is None else value_ids[variable_id].get(value)
+            )
             if value_id is None:
                 # Unknown variable or out-of-domain value: the clause holds in
                 # no sampled world — exactly how the legacy sampler scores it.
@@ -87,7 +89,9 @@ def _sample_interned(
     if not clauses:
         return 0
     relevant = sorted({p >> shift for clause in clauses for p in clause})
-    cumulative = [list(accumulate(space.weights[variable_id])) for variable_id in relevant]
+    cumulative = [
+        list(accumulate(space.weights[variable_id])) for variable_id in relevant
+    ]
     random_value = rng.random
     world: dict[int, int] = {}
     hits = 0

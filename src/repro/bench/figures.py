@@ -25,7 +25,6 @@ from repro.bench.reporting import format_sweep_result, format_table
 from repro.bench.runner import SweepResult, measure, method_registry, run_sweep
 from repro.core.conditioning import condition_wsset
 from repro.core.probability import ExactConfig, probability
-from repro.core.wsset import WSSet
 from repro.workloads.hard import HardCaseParameters, sweep_wsset_sizes
 from repro.workloads.tpch import TPCHGenerator, query_q1, query_q2
 
@@ -69,12 +68,16 @@ def figure10(
 
         q1_wsset = query_q1(database)
         q1_inputs = instance.relation_variable_count("customer", "orders", "lineitem")
-        seconds, _ = measure(lambda: probability(q1_wsset, database.world_table, config))
+        seconds, _ = measure(
+            lambda: probability(q1_wsset, database.world_table, config)
+        )
         rows.append(Figure10Row("Q1", scale_factor, q1_inputs, len(q1_wsset), seconds))
 
         q2_wsset = query_q2(database)
         q2_inputs = instance.relation_variable_count("lineitem")
-        seconds, _ = measure(lambda: probability(q2_wsset, database.world_table, config))
+        seconds, _ = measure(
+            lambda: probability(q2_wsset, database.world_table, config)
+        )
         rows.append(Figure10Row("Q2", scale_factor, q2_inputs, len(q2_wsset), seconds))
     return rows
 
@@ -83,7 +86,13 @@ def figure10_table(rows: Sequence[Figure10Row]) -> str:
     """Render Figure 10 rows the way the paper's table lays them out."""
     return format_table(
         [
-            (row.query, row.scale_factor, row.input_variables, row.wsset_size, row.seconds)
+            (
+                row.query,
+                row.scale_factor,
+                row.input_variables,
+                row.wsset_size,
+                row.seconds,
+            )
             for row in rows
         ],
         headers=("Query", "TPC-H scale", "#Input vars", "Size of ws-set", "Time (s)"),

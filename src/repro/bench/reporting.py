@@ -83,7 +83,11 @@ def summarize_shape(result: SweepResult) -> str:
         best_seconds = float("inf")
         for series in result.series:
             for point in series.points:
-                if point.x == x and not point.timed_out and point.seconds < best_seconds:
+                if (
+                    point.x == x
+                    and not point.timed_out
+                    and point.seconds < best_seconds
+                ):
                     best_seconds = point.seconds
                     best_method = series.method
         if best_method is not None:

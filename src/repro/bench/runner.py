@@ -194,7 +194,12 @@ def _karp_luby_method(
 ) -> ConfidenceMethod:
     def run(ws_set: WSSet, world_table: "WorldTable") -> float:
         return karp_luby_confidence(
-            ws_set, world_table, epsilon, delta, seed=seed, max_iterations=max_iterations
+            ws_set,
+            world_table,
+            epsilon,
+            delta,
+            seed=seed,
+            max_iterations=max_iterations,
         ).estimate
 
     return run

@@ -262,7 +262,10 @@ def condition_wsset(
         )
         if rename:
             rewritten_internal = [
-                (tag, {rename.get(var, var): value for var, value in descriptor.items()})
+                (
+                    tag,
+                    {rename.get(var, var): value for var, value in descriptor.items()},
+                )
                 for tag, descriptor in rewritten_internal
             ]
 
@@ -930,7 +933,10 @@ def _merge_equal_variables(delta_rows: dict, variable_sources: dict):
             source,
             tuple(
                 sorted(
-                    ((value, round(weight, 12)) for value, weight in distribution.items()),
+                    (
+                        (value, round(weight, 12))
+                        for value, weight in distribution.items()
+                    ),
                     key=lambda item: repr(item[0]),
                 )
             ),

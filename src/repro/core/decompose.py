@@ -103,7 +103,9 @@ class Budget:
 
     __slots__ = ("max_calls", "time_limit", "_calls", "_started")
 
-    def __init__(self, max_calls: int | None = None, time_limit: float | None = None) -> None:
+    def __init__(
+        self, max_calls: int | None = None, time_limit: float | None = None
+    ) -> None:
         self.max_calls = max_calls
         self.time_limit = time_limit
         self._calls = 0

@@ -152,7 +152,9 @@ class WSDescriptor:
     def is_independent_of(self, other: "WSDescriptor") -> bool:
         """True iff the two descriptors share no variable."""
         small, large = self._ordered_by_size(other)
-        return not any(variable in large._assignments for variable in small._assignments)
+        return not any(
+            variable in large._assignments for variable in small._assignments
+        )
 
     def is_contained_in(self, other: "WSDescriptor") -> bool:
         """True iff every world of ``self`` is a world of ``other``.

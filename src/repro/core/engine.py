@@ -21,12 +21,21 @@ queries a real workload issues against one world table.  An
   evictions and accumulated wall time across the handle's whole lifetime,
   snapshotted as :class:`EngineStats`;
 * **opt-in parallel ⊗-components** — with ``workers=N`` the handle owns a
-  thread pool and dispatches the top-level independent components of a
+  worker pool and dispatches the top-level independent components of a
   ws-set to per-worker engines (each with its own memo and its own budget),
   merging ``P = 1 − Π_i (1 − P_i)`` in deterministic component order.  The
   per-component evaluations are exactly the computations the single-threaded
   engine would run below its top-level ⊗-node, so the merged probability is
-  bit-identical to the serial result;
+  bit-identical to the serial result.  The pool flavour follows
+  ``ExactConfig.executor``: ``"thread"`` (the default whenever only
+  ``workers=N`` is given — cheap dispatch, but the GIL serialises the
+  actual computation) or ``"process"`` (a persistent
+  :class:`~repro.core.procpool.ProcessPoolBackend` of engine-owning worker
+  processes — true multi-core evaluation, and the handle's lock is released
+  while workers compute, so distinct cold queries from different sessions
+  overlap too).  The interned id space and the shared memo stay in the
+  parent: the process path consults the memo before dispatching and stores
+  worker results back into it;
 * **sharing across threads** — computations and rebinding are serialised on
   an internal lock, so several sessions (e.g. the members of a
   :class:`repro.db.session.SessionPool` behind the confidence server) can
@@ -43,6 +52,7 @@ execution, the exact leg of the hybrid method — through it.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -55,7 +65,8 @@ from repro.core.interned import (
     deduplicate_interned,
     remove_subsumed_interned,
 )
-from repro.core.probability import ExactConfig, make_engine
+from repro.core.probability import ExactConfig, LegacyProbabilityEngine, make_engine
+from repro.core.procpool import ProcessPoolBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.wsset import WSSet
@@ -64,6 +75,27 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Fewer descriptors than this never go through the worker pool: dispatch
 #: latency exceeds the evaluation cost of tiny components.
 _MIN_PARALLEL_DESCRIPTORS = 8
+
+
+def _resolve_executor(executor: str, workers: int | None) -> tuple[str, int]:
+    """Map the ``(config.executor, workers)`` pair onto ``(backend, pool size)``.
+
+    ``workers=N`` with the default ``executor="serial"`` keeps its historical
+    meaning — the thread backend — so existing ``Session(workers=N)`` callers
+    are unchanged.  An explicit ``"thread"`` or ``"process"`` executor without
+    a worker count sizes the pool from ``os.cpu_count()``.  The thread
+    backend needs at least two workers to be worth engaging; the process
+    backend accepts one (a single worker process still takes computations off
+    the handle lock, which is what lets a server overlap distinct queries).
+    """
+    count = workers if workers and workers > 0 else 0
+    if executor == "serial":
+        return ("thread", count) if count > 1 else ("serial", 0)
+    if not count:
+        count = os.cpu_count() or 1
+    if executor == "thread" and count < 2:
+        return ("serial", 0)
+    return (executor, count)
 
 
 @dataclass(frozen=True)
@@ -77,12 +109,14 @@ class EngineStats:
     worker engines of the parallel path.  ``memo_size`` and
     ``memo_evictions`` describe the *current* main engine's cache.
 
-    ``workers`` is the configured pool size (0 when parallelism is off),
-    ``parallel_computations`` / ``parallel_components`` count the
-    computations routed through the pool and the components they dispatched,
-    and ``worker_utilisation`` is the mean fraction of the pool that was busy
-    while parallel computations ran (busy worker-seconds divided by
-    ``workers ×`` parallel wall-seconds; 0.0 when nothing ran in parallel).
+    ``executor`` names the configured backend (``"serial"``, ``"thread"`` or
+    ``"process"``), ``workers`` is the configured pool size (0 when
+    parallelism is off), ``parallel_computations`` / ``parallel_components``
+    count the computations routed through the pool and the components they
+    dispatched, and ``worker_utilisation`` is the mean fraction of the pool
+    that was busy while parallel computations ran (busy worker-seconds
+    divided by ``workers ×`` parallel wall-seconds; 0.0 when nothing ran in
+    parallel).
     """
 
     computations: int = 0
@@ -92,6 +126,7 @@ class EngineStats:
     memo_evictions: int = 0
     wall_time: float = 0.0
     engine_rebuilds: int = 0
+    executor: str = "serial"
     workers: int = 0
     parallel_computations: int = 0
     parallel_components: int = 0
@@ -136,7 +171,7 @@ class EngineHandle:
         # server seam).  Re-entrant: probability() holds it while the
         # parallel path calls back into engine().
         self._lock = threading.RLock()
-        self._engine = None
+        self._engine: InternedEngine | LegacyProbabilityEngine | None = None
         self._engine_version: int | None = None
         self._computations = 0
         self._wall_time = 0.0
@@ -144,10 +179,13 @@ class EngineHandle:
         # Frames / hits of engines discarded by rebuilds, folded into stats.
         self._retired_frames = 0
         self._retired_hits = 0
-        # Parallel ⊗-component machinery (dormant unless workers > 1).
-        self._workers = workers if workers and workers > 1 else 0
+        # Parallel ⊗-component machinery (dormant unless a backend resolves).
+        self._executor_name, self._workers = _resolve_executor(
+            self.config.executor, workers
+        )
         self._closed = False
         self._executor: ThreadPoolExecutor | None = None
+        self._backend: ProcessPoolBackend | None = None
         self._worker_engines: list = []
         self._worker_lock = threading.Lock()
         self._parallel_computations = 0
@@ -166,6 +204,11 @@ class EngineHandle:
     def workers(self) -> int:
         """Size of the ⊗-component worker pool (0 = parallelism off)."""
         return self._workers
+
+    @property
+    def executor(self) -> str:
+        """The resolved execution backend: ``serial``, ``thread`` or ``process``."""
+        return self._executor_name
 
     def rebind(self, world_table: "WorldTable") -> None:
         """Point the handle at a (possibly) different world table.
@@ -197,6 +240,22 @@ class EngineHandle:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
                 self._executor = None
+            backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+
+    def warm_up(self) -> None:
+        """Pre-spawn the process pool's workers (no-op for other executors).
+
+        Spawned workers are otherwise started lazily on the first parallel
+        computation; servers call this before accepting connections so the
+        first client never pays the spawn latency.
+        """
+        with self._lock:
+            if self._executor_name != "process" or self._closed:
+                return
+            backend = self._ensure_backend()
+        backend.warm_up()
 
     def _retire(self) -> None:
         if self._engine is not None:
@@ -209,6 +268,11 @@ class EngineHandle:
                 self._retired_frames += engine.stats.recursive_calls
                 self._retired_hits += engine.cache_hits
             self._worker_engines.clear()
+        if self._backend is not None:
+            # Worker processes drop their engines (and memos) too, so
+            # clear_cache()/invalidate() means cold everywhere, not just in
+            # the parent.
+            self._backend.invalidate()
 
     def engine(self):
         """The current engine, rebuilt if the world table was mutated."""
@@ -240,20 +304,28 @@ class EngineHandle:
         apply per computation, not to the handle's lifetime.  Raises
         :class:`~repro.errors.BudgetExceededError` like the one-shot API.
 
-        With ``workers=N`` (N > 1) a ws-set that splits into several
-        top-level independent components is evaluated by the worker pool,
-        one fresh budget per component ("per-worker budget accounting") and
-        a deterministic in-order merge; ws-sets with a single component run
-        serially as usual.
+        With the thread backend (``workers=N``, N > 1) a ws-set that splits
+        into several top-level independent components is evaluated by the
+        worker pool, one fresh budget per component ("per-worker budget
+        accounting") and a deterministic in-order merge; ws-sets with a
+        single component run serially as usual.  With
+        ``ExactConfig(executor="process")`` components are shipped to the
+        persistent process pool instead — and the handle's lock is released
+        while workers compute, so concurrent computations from other
+        sessions sharing this handle proceed in parallel.  Every backend
+        returns bit-identical values.
         """
         config = self.config
+        parallel_capable = (
+            self._workers
+            and not self._closed
+            and config.engine == "interned"
+            and config.use_independent_partitioning
+        )
+        if parallel_capable and self._executor_name == "process":
+            return self._process_probability(ws_set, max_calls, time_limit)
         with self._lock:
-            if (
-                self._workers
-                and not self._closed
-                and config.engine == "interned"
-                and config.use_independent_partitioning
-            ):
+            if parallel_capable and self._executor_name == "thread":
                 return self._parallel_probability(ws_set, max_calls, time_limit)
             return self._timed(
                 lambda engine: engine.compute_wsset(ws_set), max_calls, time_limit
@@ -321,7 +393,9 @@ class EngineHandle:
         executor = self._ensure_executor()
         started = time.perf_counter()
         futures = [
-            executor.submit(self._component_probability, component, max_calls, time_limit)
+            executor.submit(
+                self._component_probability, component, max_calls, time_limit
+            )
             for component in components
         ]
         try:
@@ -385,6 +459,112 @@ class EngineHandle:
         return self._executor
 
     # ------------------------------------------------------------------
+    # Process-pool ⊗-components
+    # ------------------------------------------------------------------
+    def _ensure_backend(self) -> ProcessPoolBackend:
+        if self._backend is None:
+            self._backend = ProcessPoolBackend(self._workers)
+        return self._backend
+
+    def _process_probability(
+        self, ws_set: "WSSet", max_calls: int | None, time_limit: float | None
+    ) -> float:
+        """Evaluate a ws-set on the process pool, memoising in the parent.
+
+        Interning, simplification, the component split and all memo traffic
+        happen under the handle lock; the expensive part — evaluating the
+        uncached components — runs with the lock *released*, dispatched to
+        the process pool.  Several sessions sharing this handle therefore
+        overlap their cold computations across worker processes while still
+        sharing one component-level memo: cached components are answered in
+        the parent, fresh results are stored back for every later query.
+
+        Tiny ws-sets (fewer than the parallel dispatch floor) never pay the
+        IPC round trip and run serially under the lock, like the thread
+        backend.  Single-component ws-sets still dispatch — that is what
+        lets a server's distinct single-component queries use distinct
+        cores.
+        """
+        config = self.config
+        # Resolve per-call overrides against the config *here*: workers re-arm
+        # plain Budgets from what they receive, so config-level limits must
+        # already be folded in (the serial path does this inside _budget()).
+        if max_calls is None:
+            max_calls = config.max_calls
+        if time_limit is None:
+            time_limit = config.time_limit
+        started = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                # close() raced us between the dispatch decision and here;
+                # fall back to the serial path rather than resurrecting the
+                # worker pool behind the caller's back.
+                return self._timed(
+                    lambda engine: engine.compute_wsset(ws_set),
+                    max_calls,
+                    time_limit,
+                )
+            engine = self.engine()
+            space = engine.space
+            interned = deduplicate_interned(space.intern_wsset(ws_set))
+            if config.simplify_subsumed:
+                interned = remove_subsumed_interned(interned)
+            if len(interned) < _MIN_PARALLEL_DESCRIPTORS:
+                return self._timed(
+                    lambda engine: engine.run(interned), max_calls, time_limit
+                )
+            components = engine.components_of(interned)
+            cache = engine.cache if engine.memoize else None
+            # Slots are either filled from the memo here or overwritten from
+            # the workers' results below; every index is covered.
+            values: list[float] = [0.0] * len(components)
+            jobs: list[tuple[int, tuple | None, list]] = []
+            for index, component in enumerate(components):
+                key = tuple(sorted(component)) if cache is not None else None
+                if key is not None:
+                    hit = cache.get(key)
+                    if hit is not None:
+                        engine.cache_hits += 1
+                        values[index] = hit
+                        continue
+                jobs.append((index, key, component))
+            backend = self._ensure_backend()
+        busy = 0.0
+        try:
+            computed = (
+                backend.compute(
+                    space,
+                    config,
+                    [component for _, _, component in jobs],
+                    max_calls,
+                    time_limit,
+                )
+                if jobs
+                else []
+            )
+            busy = sum(seconds for _, seconds in computed)
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._wall_time += elapsed
+                self._parallel_wall_time += elapsed
+                self._parallel_busy_time += busy
+                self._computations += 1
+                self._parallel_computations += 1
+                self._parallel_components += len(jobs)
+        with self._lock:
+            for (index, key, _component), (value, _seconds) in zip(jobs, computed):
+                values[index] = value
+                if key is not None:
+                    cache[key] = value
+        if len(values) == 1:
+            return values[0]
+        complement = 1.0
+        for value in values:
+            complement *= 1.0 - value
+        return 1.0 - complement
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def snapshot(self) -> EngineStats:
@@ -423,6 +603,7 @@ class EngineHandle:
             memo_evictions=evictions,
             wall_time=self._wall_time,
             engine_rebuilds=self._rebuilds,
+            executor=self._executor_name,
             workers=self._workers,
             parallel_computations=self._parallel_computations,
             parallel_components=self._parallel_components,

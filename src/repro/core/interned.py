@@ -356,14 +356,24 @@ class InternedEngine:
 
     def __init__(
         self,
-        world_table: "WorldTable",
+        world_table: "WorldTable | None",
         config: "ExactConfig",
         budget: Budget | None = None,
         record_elimination_order: bool = True,
+        *,
+        space=None,
     ) -> None:
         self.world_table = world_table
         self.config = config
-        self.space = world_table.interned()
+        # ``space`` may stand in for the world table's interned space: any
+        # dense id-space provider with ``shift``/``mask``/``weights`` and
+        # ``domain_size`` works for the packed entry points (``run``), which
+        # is how process workers evaluate components over a picklable
+        # :class:`~repro.core.procpool.SpaceSnapshot` without shipping the
+        # world table.  Interning entry points (``compute_wsset`` and
+        # friends) additionally need the id maps of a real
+        # :class:`InternedSpace`.
+        self.space = space if space is not None else world_table.interned()
         self.heuristic = make_heuristic(config.heuristic)
         # Long-lived shared engines (conditioning's delegate) disable the
         # per-node elimination log, which would otherwise grow without bound.

@@ -57,6 +57,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Names accepted by :attr:`ExactConfig.engine`.
 ENGINES = ("interned", "legacy")
 
+#: Names accepted by :attr:`ExactConfig.executor`.
+EXECUTORS = ("serial", "thread", "process")
+
 
 @dataclass(frozen=True)
 class ExactConfig:
@@ -93,6 +96,16 @@ class ExactConfig:
         ``"interned"`` (default) for the integer-packed iterative engine of
         :mod:`repro.core.interned`; ``"legacy"`` for the original recursive
         plain-dict engine.
+    executor:
+        Execution backend used by :class:`~repro.core.engine.EngineHandle`
+        for top-level ⊗-components: ``"serial"`` (default) evaluates
+        in-process, ``"thread"`` dispatches components to a thread pool
+        (threads interleave under the GIL — useful mainly as an ablation),
+        and ``"process"`` fans components out to a persistent process pool
+        (:mod:`repro.core.procpool`) for true multi-core evaluation.  The
+        merge is deterministic, so every executor returns bit-identical
+        results.  Only honoured by the interned engine through an engine
+        handle; the one-shot functions always run serially.
     numpy_threshold:
         Size at which the interned engine switches its fold-heavy helpers
         (the minlog cost estimate over candidate variables, the ⊕-branch
@@ -113,6 +126,14 @@ class ExactConfig:
     time_limit: float | None = None
     engine: str = "interned"
     numpy_threshold: int | None = 32
+    executor: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            known = ", ".join(EXECUTORS)
+            raise ValueError(
+                f"unknown executor {self.executor!r}; known executors: {known}"
+            )
 
     @classmethod
     def indve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":
@@ -142,7 +163,9 @@ class ExactConfig:
     @property
     def label(self) -> str:
         """A short label such as ``indve(minlog)`` used in benchmark reports."""
-        name = self.heuristic if isinstance(self.heuristic, str) else self.heuristic.name
+        name = (
+            self.heuristic if isinstance(self.heuristic, str) else self.heuristic.name
+        )
         method = "indve" if self.use_independent_partitioning else "ve"
         return f"{method}({name})"
 

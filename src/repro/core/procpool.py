@@ -1,0 +1,357 @@
+"""Process-pool execution backend: interned components evaluated off the GIL.
+
+Threads only interleave exact confidence computation — the decomposition core
+is pure Python, so ``Session(workers=N)`` thread pools buy pipelining but not
+parallel CPU time.  This module is the process-based backend behind
+``ExactConfig(executor="process")``: top-level ⊗-components (and, through the
+confidence server, whole cold queries) are shipped to a persistent pool of
+worker *processes*, each owning a long-lived :class:`InternedEngine`.
+
+Everything that travels is cheap and picklable by construction:
+
+* **task units** are lists of packed descriptor tuples — the interned
+  substrate of :mod:`repro.core.interned`, plain ints all the way down;
+* the **id space** travels as a :class:`SpaceSnapshot` — the dense
+  ``weights`` / ``shift`` / ``mask`` arrays of the parent's
+  :class:`~repro.core.interned.InternedSpace`, without the variable/value
+  objects (workers never need them: packed evaluation only touches ids).
+  The snapshot rides along with every task (O(total alternatives) floats
+  per chunk — tasks can land on any worker, so there is no per-worker
+  "already sent" bookkeeping); its ``generation`` tag is what lets a
+  worker *keep its engine and memo* across tasks instead of rebuilding
+  them per chunk;
+* **results** are floats, and worker exceptions re-raise in the parent with
+  their original :mod:`repro.errors` types.
+
+Workers re-arm a fresh :class:`~repro.core.decompose.Budget` per component
+(the same per-worker budget accounting as the thread path) and keep their
+memo caches across tasks, so repeated components within a worker stay warm.
+The parent-side memo and the interned space never leave the parent process —
+:class:`~repro.core.engine.EngineHandle` consults its shared memo before
+dispatching and stores worker results back into it.
+
+A worker that dies outside Python (killed, segfault) breaks the executing
+pool: the backend then discards the pool, raises a typed
+:class:`~repro.errors.WorkerPoolError` for the in-flight computation, and
+lazily rebuilds the pool for the next one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.core.decompose import Budget
+from repro.errors import WorkerPoolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.interned import InternedEngine, InternedSpace, PackedDescriptor
+    from repro.core.probability import ExactConfig
+
+#: Start method of the worker processes.  ``spawn`` gives every worker a
+#: fresh interpreter: no inherited locks from the parent's threads (the
+#: confidence server forks nothing while its event loop runs) and identical
+#: behaviour across platforms, at the cost of a one-off per-worker startup
+#: that the persistent pool amortises away.
+START_METHOD = "spawn"
+
+
+class SpaceSnapshot:
+    """A picklable stand-in for an :class:`InternedSpace` in worker processes.
+
+    Carries exactly the dense arrays packed evaluation needs — per-variable
+    alternative ``weights`` plus the ``shift``/``mask`` packing geometry —
+    and none of the variable/value objects, so it pickles in O(total
+    alternatives) floats regardless of what the variables are.  Satisfies
+    the domain-size-provider protocol of the variable-choice heuristics and
+    the weight lookups of :meth:`InternedEngine.run`; it cannot intern new
+    descriptors (workers only ever receive already-packed ones).
+
+    ``generation`` tags the parent's space so workers know when a cached
+    engine is stale.
+    """
+
+    __slots__ = ("generation", "shift", "mask", "weights")
+
+    def __init__(
+        self, generation: int, shift: int, mask: int, weights: list[list[float]]
+    ) -> None:
+        self.generation = generation
+        self.shift = shift
+        self.mask = mask
+        self.weights = weights
+
+    @classmethod
+    def of_space(cls, space: "InternedSpace", generation: int) -> "SpaceSnapshot":
+        return cls(generation, space.shift, space.mask, space.weights)
+
+    def domain_size(self, variable_id: int) -> int:
+        """Number of alternatives of the variable with the given id."""
+        return len(self.weights[variable_id])
+
+    def weight(self, packed: int) -> float:
+        """``P({variable -> value})`` of a packed assignment."""
+        return self.weights[packed >> self.shift][packed & self.mask]
+
+    def __getstate__(self):
+        return (self.generation, self.shift, self.mask, self.weights)
+
+    def __setstate__(self, state) -> None:
+        self.generation, self.shift, self.mask, self.weights = state
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSnapshot(generation={self.generation}, "
+            f"variables={len(self.weights)})"
+        )
+
+
+def chunk_components(
+    components: "list[list[PackedDescriptor]]", chunks: int
+) -> "list[list[list[PackedDescriptor]]]":
+    """Split components into at most ``chunks`` contiguous, balanced batches.
+
+    Contiguity keeps the flattened result order equal to the input order (the
+    deterministic-merge requirement); balance is by total descriptor count,
+    the best cheap proxy for evaluation cost.  Every batch is non-empty.
+    """
+    if not components:
+        return []
+    chunks = min(chunks, len(components))
+    if chunks <= 1:
+        return [list(components)]
+    total = sum(len(component) for component in components)
+    batches: list[list[list]] = []
+    batch: list[list] = []
+    cumulative = 0
+    for index, component in enumerate(components):
+        batch.append(component)
+        cumulative += len(component)
+        remaining_components = len(components) - index - 1
+        remaining_batches = chunks - len(batches) - 1
+        boundary = total * (len(batches) + 1) / chunks
+        if remaining_batches and (
+            cumulative >= boundary or remaining_components == remaining_batches
+        ):
+            batches.append(batch)
+            batch = []
+    batches.append(batch)
+    return batches
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-process engine cache: rebuilt whenever a task carries a snapshot of a
+#: different generation (the parent's interned space changed).
+_worker_engine: "InternedEngine | None" = None
+_worker_generation: int | None = None
+
+
+def _compute_chunk(
+    snapshot: SpaceSnapshot,
+    config: "ExactConfig",
+    components: "list[list[PackedDescriptor]]",
+    max_calls: int | None,
+    time_limit: float | None,
+) -> list[tuple[float, float]]:
+    """Worker task: evaluate components in order, one fresh budget each.
+
+    Returns ``(value, seconds)`` per component so the parent can account
+    worker busy time.  The per-worker engine persists across tasks of the
+    same generation, so its memo cache warms up across the many components
+    of one computation and across computations.  Each component re-arms a
+    fresh budget — per-worker budget accounting, matching the thread
+    backend.
+    """
+    global _worker_engine, _worker_generation
+    engine = _worker_engine
+    if engine is None or _worker_generation != snapshot.generation:
+        from repro.core.interned import InternedEngine
+
+        engine = InternedEngine(
+            None, config, record_elimination_order=False, space=snapshot
+        )
+        _worker_engine = engine
+        _worker_generation = snapshot.generation
+    results = []
+    for component in components:
+        engine.reset_budget(Budget(max_calls, time_limit))
+        started = time.perf_counter()
+        value = engine.run(component)
+        results.append((value, time.perf_counter() - started))
+    return results
+
+
+def _warm_up_worker(seconds: float) -> bool:
+    """Keep one worker busy long enough for the pool to spawn its siblings."""
+    time.sleep(seconds)
+    return True
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ProcessPoolBackend:
+    """A persistent pool of engine-owning worker processes.
+
+    One backend belongs to one :class:`~repro.core.engine.EngineHandle`; the
+    handle serialises snapshot re-arms through :meth:`compute`, but
+    :meth:`compute` itself may be called from several threads at once (the
+    confidence server's session pool) — ``ProcessPoolExecutor`` is
+    thread-safe, which is exactly what lets distinct cold queries overlap
+    across worker processes.
+    """
+
+    def __init__(self, workers: int, *, start_method: str = START_METHOD) -> None:
+        if workers < 1:
+            raise ValueError(f"process pool needs at least 1 worker, got {workers}")
+        self.workers = workers
+        self._context = multiprocessing.get_context(start_method)
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._space: "InternedSpace | None" = None
+        self._snapshot: SpaceSnapshot | None = None
+        self.tasks_dispatched = 0
+        self.components_dispatched = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                # A computation racing close() must not spawn a fresh pool
+                # nobody would ever shut down again.
+                raise WorkerPoolError("the process pool backend is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._context
+                )
+            return self._executor
+
+    def _discard_executor(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def warm_up(self, *, per_worker_seconds: float = 0.05) -> None:
+        """Spawn all workers now instead of on the first computation.
+
+        Submits one short sleeper per worker; because each sleeper occupies
+        a worker, the pool is forced to start its full complement.  Servers
+        call this at startup so the first client never pays spawn latency.
+        """
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_warm_up_worker, per_worker_seconds)
+            for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result()
+
+    def invalidate(self) -> None:
+        """Force a new snapshot generation on the next computation.
+
+        Workers rebuild their cached engines (dropping their memos) when the
+        generation changes; the engine handle calls this whenever its own
+        engine is retired, so "clear the cache" reaches every process.
+        """
+        with self._lock:
+            self._space = None
+            self._snapshot = None
+
+    def close(self) -> None:
+        """Shut the pool down for good.
+
+        A :meth:`compute` racing the shutdown raises
+        :class:`~repro.errors.WorkerPoolError` instead of silently spawning
+        a replacement pool that nothing would ever reap.  (A *broken* pool,
+        by contrast, is only discarded — the next computation rebuilds it.)
+        """
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- computation -----------------------------------------------------
+    def snapshot_of(self, space: "InternedSpace") -> SpaceSnapshot:
+        """The (cached) picklable snapshot of the parent's interned space.
+
+        A new generation is minted whenever the space object changes — the
+        world table was mutated or conditioned and the engine rebuilt — which
+        tells workers to rebuild their cached engines.
+        """
+        with self._lock:
+            snapshot = self._snapshot
+            if self._space is not space or snapshot is None:
+                self._generation += 1
+                self._space = space
+                snapshot = SpaceSnapshot.of_space(space, self._generation)
+                self._snapshot = snapshot
+            return snapshot
+
+    def compute(
+        self,
+        space: "InternedSpace",
+        config: "ExactConfig",
+        components: "list[list[PackedDescriptor]]",
+        max_calls: int | None,
+        time_limit: float | None,
+    ) -> list[tuple[float, float]]:
+        """``(probability, worker_seconds)`` per component, in component order.
+
+        Components are chunked contiguously across the pool; a multi-chunk
+        dispatch overlaps with other threads' concurrent ``compute`` calls.
+        Worker-raised Python exceptions re-raise here with their own types
+        (first failing chunk in order wins, like the thread backend); a
+        broken pool surfaces as :class:`~repro.errors.WorkerPoolError` and
+        the pool is rebuilt lazily for the next computation.
+        """
+        if not components:
+            return []
+        snapshot = self.snapshot_of(space)
+        executor = self._ensure_executor()
+        chunks = chunk_components(components, self.workers)
+        try:
+            futures = [
+                executor.submit(
+                    _compute_chunk, snapshot, config, chunk, max_calls, time_limit
+                )
+                for chunk in chunks
+            ]
+            values: list[tuple[float, float]] = []
+            error: BaseException | None = None
+            for future in futures:
+                try:
+                    values.extend(future.result())
+                except BrokenExecutor as broken:
+                    raise WorkerPoolError(
+                        f"process pool broke mid-computation: {broken}"
+                    ) from broken
+                except Exception as exc:  # noqa: BLE001 - re-raised in order below
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        except WorkerPoolError:
+            self._discard_executor()
+            raise
+        except BrokenExecutor as broken:  # raised by submit on a dead pool
+            self._discard_executor()
+            raise WorkerPoolError(f"process pool is broken: {broken}") from broken
+        self.tasks_dispatched += len(chunks)
+        self.components_dispatched += len(components)
+        return values
+
+    def __repr__(self) -> str:
+        state = "idle" if self._executor is None else "running"
+        return (
+            f"ProcessPoolBackend({self.workers} workers, {state}, "
+            f"{self.components_dispatched} components dispatched)"
+        )

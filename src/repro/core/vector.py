@@ -63,7 +63,9 @@ def descriptor_weights(descriptors, shift, mask, weight_table):
     total = int(lengths.sum())
     if total == 0:
         return _np.ones(len(descriptors), dtype=_np.float64)
-    flat = _np.fromiter((p for d in descriptors for p in d), dtype=_np.int64, count=total)
+    flat = _np.fromiter(
+        (p for d in descriptors for p in d), dtype=_np.int64, count=total
+    )
     factors = weight_table[(flat >> shift) * (mask + 1) + (flat & mask)]
     offsets = _np.concatenate(([0], _np.cumsum(lengths[:-1])))
     nonempty = lengths > 0

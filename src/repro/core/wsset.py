@@ -160,7 +160,9 @@ class WSSet:
     def is_mutex_with(self, other: "WSSet") -> bool:
         """True iff every pair of descriptors across the two ws-sets is mutex."""
         return all(
-            d1.is_mutex_with(d2) for d1 in self._descriptors for d2 in other._descriptors
+            d1.is_mutex_with(d2)
+            for d1 in self._descriptors
+            for d2 in other._descriptors
         )
 
     def is_independent_of(self, other: "WSSet") -> bool:
@@ -247,7 +249,9 @@ class WSSet:
     # ------------------------------------------------------------------
     def is_satisfied_by(self, world: Mapping[Variable, Value]) -> bool:
         """True iff the total valuation ``world`` extends some member descriptor."""
-        return any(descriptor.is_satisfied_by(world) for descriptor in self._descriptors)
+        return any(
+            descriptor.is_satisfied_by(world) for descriptor in self._descriptors
+        )
 
     def naive_probability_upper_bound(self, world_table: "WorldTable") -> float:
         """The (possibly > 1) sum of member probabilities — the union bound.
@@ -255,7 +259,9 @@ class WSSet:
         Exact when the descriptors are pairwise mutex; used by the Karp–Luby
         estimator as the total clause weight ``Z``.
         """
-        return sum(descriptor.probability(world_table) for descriptor in self._descriptors)
+        return sum(
+            descriptor.probability(world_table) for descriptor in self._descriptors
+        )
 
     # ------------------------------------------------------------------
     # Hashing / equality / repr

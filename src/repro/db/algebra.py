@@ -30,7 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import WorldTable
 
 
-def select(relation: URelation, predicate: Predicate, name: str | None = None) -> URelation:
+def select(
+    relation: URelation, predicate: Predicate, name: str | None = None
+) -> URelation:
     """``σ_predicate(relation)``: keep the rows whose values satisfy the predicate."""
     result = URelation(name or f"select({relation.name})", relation.attributes)
     attributes = relation.attributes
@@ -69,7 +71,9 @@ def project_to_wsset(relation: URelation) -> WSSet:
     return relation.descriptors()
 
 
-def rename(relation: URelation, renaming: Mapping[str, str], name: str | None = None) -> URelation:
+def rename(
+    relation: URelation, renaming: Mapping[str, str], name: str | None = None
+) -> URelation:
     """``ρ_renaming(relation)``: rename attributes."""
     return relation.renamed_attributes(renaming, name=name)
 
@@ -183,7 +187,7 @@ def equijoin(
         key = tuple(row.values[i] for i in right_key_positions)
         right_index.setdefault(key, []).append(row)
 
-    left_key_positions = [left.attribute_index(l) for l, _ in pair_list]
+    left_key_positions = [left.attribute_index(a) for a, _ in pair_list]
     result = URelation(
         name or f"equijoin({left.name},{right.name})",
         left.attributes + right.attributes,

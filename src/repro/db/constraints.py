@@ -157,7 +157,9 @@ class FunctionalDependency(EqualityGeneratingDependency):
 class KeyConstraint(FunctionalDependency):
     """A key constraint: the key attributes determine the whole tuple."""
 
-    def __init__(self, relation: str, key: Sequence[str], attributes: Sequence[str]) -> None:
+    def __init__(
+        self, relation: str, key: Sequence[str], attributes: Sequence[str]
+    ) -> None:
         dependents = [a for a in attributes if a not in set(key)]
         super().__init__(relation, key, dependents)
 

@@ -21,7 +21,11 @@ from typing import TYPE_CHECKING
 from repro.core.conditioning import ConditioningResult, condition_wsset
 from repro.core.probability import ExactConfig, probability
 from repro.core.wsset import WSSet
-from repro.db.confidence import ConfidenceRow, confidence_by_tuple, confidence_of_relation
+from repro.db.confidence import (
+    ConfidenceRow,
+    confidence_by_tuple,
+    confidence_of_relation,
+)
 from repro.db.constraints import Constraint
 from repro.db.urelation import URelation, UTuple
 from repro.db.world_table import WorldTable

@@ -141,7 +141,9 @@ class AttributeComparison(Predicate):
             raise QueryError(f"unsupported comparison operator {self.operator!r}")
 
     def evaluate(self, row: Row) -> bool:
-        return _OPERATORS[self.operator](self.left.resolve(row), self.right.resolve(row))
+        return _OPERATORS[self.operator](
+            self.left.resolve(row), self.right.resolve(row)
+        )
 
     def attributes(self) -> frozenset[str]:
         names = set()

@@ -311,20 +311,31 @@ class Session:
         hybrid_time_limit: float | None = None,
         hybrid_scale: float = 1.0,
         workers: int | None = None,
+        executor: str | None = None,
         handle: EngineHandle | None = None,
     ) -> None:
         if handle is not None:
             # Session-pool hook: share an existing engine handle (and thus its
             # interned space, memo cache and config) instead of building one.
             # The handle's internal lock makes cross-thread sharing safe.
-            if config is not None or memo_limit is not None or workers is not None:
+            if (
+                config is not None
+                or memo_limit is not None
+                or workers is not None
+                or executor is not None
+            ):
                 raise QueryError(
-                    "pass either handle= or config/memo_limit/workers, not both "
-                    "(the handle already carries its config and worker pool)"
+                    "pass either handle= or config/memo_limit/workers/executor, "
+                    "not both (the handle already carries its config and "
+                    "worker pool)"
                 )
             config = handle.config
         else:
             config = config or ExactConfig()
+            if executor is not None:
+                # Shorthand for ExactConfig(executor=...): "serial", "thread"
+                # or "process"; combined with workers=N it sizes the pool.
+                config = replace(config, executor=executor)
             if memo_limit is not None:
                 config = replace(config, memo_limit=memo_limit)
             elif config.memo_limit is None and config.effective_memoize:
@@ -399,6 +410,11 @@ class Session:
     def workers(self) -> int:
         """Size of the parallel ⊗-component worker pool (0 = serial)."""
         return self._handle.workers
+
+    @property
+    def executor(self) -> str:
+        """The resolved execution backend (``serial``, ``thread``, ``process``)."""
+        return self._handle.executor
 
     def close(self) -> None:
         """Release the worker pool (if any); the session stays usable serially."""
@@ -562,7 +578,9 @@ class Session:
             iterations=approximation.iterations,
         )
 
-    def _montecarlo(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
+    def _montecarlo(
+        self, ws_set: WSSet, request: ConfidenceRequest
+    ) -> ConfidenceResult:
         from repro.approx.montecarlo import naive_monte_carlo_confidence
 
         epsilon = request.epsilon if request.epsilon is not None else self.epsilon

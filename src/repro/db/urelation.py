@@ -20,7 +20,7 @@ from repro.core.wsset import WSSet
 from repro.errors import SchemaError, UnknownAttributeError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.db.world_table import Value, Variable, WorldTable
+    from repro.db.world_table import Value, Variable
 else:
     Variable = object
     Value = object
@@ -218,7 +218,9 @@ class URelation:
     def map_descriptors(self, function) -> "URelation":
         """A copy with ``function`` applied to every row descriptor."""
         clone = URelation(self.name, self._attributes)
-        clone._rows = [row.with_descriptor(function(row.descriptor)) for row in self._rows]
+        clone._rows = [
+            row.with_descriptor(function(row.descriptor)) for row in self._rows
+        ]
         return clone
 
     def __repr__(self) -> str:

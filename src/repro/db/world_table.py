@@ -105,7 +105,9 @@ class WorldTable:
                     f"variable {variable!r} has zero total probability; cannot normalize"
                 )
             items = {value: p / total for value, p in items.items()}
-        elif not math.isclose(total, 1.0, abs_tol=PROBABILITY_TOLERANCE * max(1, len(items))):
+        elif not math.isclose(
+            total, 1.0, abs_tol=PROBABILITY_TOLERANCE * max(1, len(items))
+        ):
             raise InvalidDistributionError(
                 f"alternatives of variable {variable!r} sum to {total}, expected 1"
             )
@@ -124,7 +126,9 @@ class WorldTable:
             )
         self.add_variable(variable, {True: probability, False: 1.0 - probability})
 
-    def add_alternative(self, variable: Variable, value: Value, probability: float) -> None:
+    def add_alternative(
+        self, variable: Variable, value: Value, probability: float
+    ) -> None:
         """Add one ``(variable, value, probability)`` row, creating the variable if needed.
 
         Unlike :meth:`add_variable` this performs no distribution validation;
@@ -153,7 +157,9 @@ class WorldTable:
         """Check every variable's alternatives sum to one (within tolerance)."""
         for variable, domain in self._alternatives.items():
             total = sum(domain.values())
-            if not math.isclose(total, 1.0, abs_tol=PROBABILITY_TOLERANCE * max(1, len(domain))):
+            if not math.isclose(
+                total, 1.0, abs_tol=PROBABILITY_TOLERANCE * max(1, len(domain))
+            ):
                 raise InvalidDistributionError(
                     f"alternatives of variable {variable!r} sum to {total}, expected 1"
                 )

@@ -110,10 +110,25 @@ class SQLSyntaxError(QueryError):
 class BudgetExceededError(ReproError, RuntimeError):
     """An algorithm exceeded a user-supplied resource budget (time or node count)."""
 
-    def __init__(self, message: str, *, elapsed: float | None = None, nodes: int | None = None):
+    def __init__(
+        self, message: str, *, elapsed: float | None = None, nodes: int | None = None
+    ):
         super().__init__(message)
         self.elapsed = elapsed
         self.nodes = nodes
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """The worker pool backing a parallel engine failed outside Python.
+
+    Raised when a process worker dies abruptly (killed, segfault, failed
+    spawn) so the executing pool breaks mid-computation.  The engine handle
+    discards the broken pool and rebuilds it lazily, so the *next*
+    computation runs on a fresh pool; only the in-flight computation fails.
+    Ordinary Python exceptions raised inside a worker (budget overruns,
+    unknown variables) do not break the pool and re-raise as their own
+    types.
+    """
 
 
 class ServerError(ReproError):

@@ -14,7 +14,12 @@ session runs unchanged against :func:`connect`.  ``python -m repro.server``
 starts a standalone server (see :mod:`repro.server.__main__` for the flags).
 """
 
-from repro.server.client import AsyncServerSession, ServerSession, connect, connect_async
+from repro.server.client import (
+    AsyncServerSession,
+    ServerSession,
+    connect,
+    connect_async,
+)
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_PORT,

@@ -114,6 +114,14 @@ def parse_arguments(argv: list[str] | None = None) -> argparse.Namespace:
         help="opt-in parallel ⊗-component workers inside the engine",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for exact computations: 'process' fans cold "
+             "queries and large ⊗-components out across worker processes "
+             "(true multi-core; the memo stays shared in this process), "
+             "'thread' interleaves under the GIL, 'serial' (default) "
+             "computes in-line",
+    )
+    parser.add_argument(
         "--workload", default="empty", metavar="SPEC",
         help="database to serve: empty | figure11a:n=..,r=..,s=..,w=..,seed=.. "
              "| tpch:sf=..,seed=.. (default: empty)",
@@ -138,6 +146,7 @@ async def _serve(arguments: argparse.Namespace) -> None:
         pool_size=arguments.pool,
         memo_limit=arguments.memo_limit,
         workers=arguments.workers,
+        executor=arguments.executor,
         max_frame_bytes=arguments.max_frame_bytes,
     )
     # Bootstrap strictly before binding: a client connecting to a well-known

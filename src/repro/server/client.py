@@ -21,7 +21,10 @@ raises :class:`~repro.errors.BudgetExceededError` here).
 
 Both clients are strictly request/response per connection; open several
 connections for overlapping requests (that is exactly what the server's
-session pool is for).
+session pool is for) — or batch them: ``confidence_many`` ships all its
+targets in one frame and the *server* fans them out across its pool, which
+both removes the per-request round trip and, with a process-executor server,
+runs the batch across cores.
 """
 
 from __future__ import annotations
@@ -108,6 +111,25 @@ class _SessionCalls:
         return ConfidenceRequest(target, method, **options).to_payload()
 
     @staticmethod
+    def _many_args(targets, method: str, options: dict) -> dict:
+        """The ``confidence_many`` frame: one request payload per target."""
+        payloads = []
+        for target in targets:
+            if isinstance(target, ConfidenceRequest):
+                payloads.append(target.to_payload())
+            else:
+                payloads.append(
+                    ConfidenceRequest(target, method, **options).to_payload()
+                )
+        return {"requests": payloads}
+
+    @staticmethod
+    def _many_results(result: dict) -> list[ConfidenceResult]:
+        return [
+            ConfidenceResult.from_payload(payload) for payload in result["results"]
+        ]
+
+    @staticmethod
     def _batch_args(relation: "URelation | str", method: str, options: dict) -> dict:
         name = relation if isinstance(relation, str) else relation.name
         return {"relation": name, "method": method, **options}
@@ -183,13 +205,22 @@ class ServerSession(_SessionCalls):
         method: str = "exact",
         **options,
     ) -> list[ConfidenceResult]:
-        results = []
-        for target in targets:
-            if isinstance(target, ConfidenceRequest):
-                results.append(self.query(target))
-            else:
-                results.append(self.confidence(target, method, **options))
-        return results
+        """All targets in *one* ``confidence_many`` frame (one round trip).
+
+        The server fans the batch out across its session pool (with a
+        process executor the requests genuinely overlap across cores) and
+        answers in target order.  Requires a protocol-version-2 server:
+        this client stamps ``v: 2`` on *every* frame, so against an old
+        (v1) server every call — this one included — raises a
+        ``ProtocolError`` with code ``unsupported-version``; there is no
+        per-operation fallback.
+        """
+        targets = list(targets)
+        if not targets:
+            return []
+        return self._many_results(
+            self._call("confidence_many", self._many_args(targets, method, options))
+        )
 
     def confidence_batch(
         self, relation: "URelation | str", method: str = "exact", **options
@@ -316,13 +347,15 @@ class AsyncServerSession(_SessionCalls):
         method: str = "exact",
         **options,
     ) -> list[ConfidenceResult]:
-        results = []
-        for target in targets:
-            if isinstance(target, ConfidenceRequest):
-                results.append(await self.query(target))
-            else:
-                results.append(await self.confidence(target, method, **options))
-        return results
+        """All targets in one ``confidence_many`` frame (see the blocking twin)."""
+        targets = list(targets)
+        if not targets:
+            return []
+        return self._many_results(
+            await self._call(
+                "confidence_many", self._many_args(targets, method, options)
+            )
+        )
 
     async def confidence_batch(
         self, relation: "URelation | str", method: str = "exact", **options

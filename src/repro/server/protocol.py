@@ -24,6 +24,10 @@ Operations (see ``docs/protocol.md`` for the full schemas):
     (:meth:`~repro.db.session.ConfidenceRequest.to_payload` form, including
     per-request budgets, seeds and ε/δ) answered with a
     :class:`~repro.db.session.ConfidenceResult` payload.
+``confidence_many`` (since version 2)
+    A batch of confidence requests answered in one round trip; the server
+    fans the batch out across its session pool, so with a process executor
+    the requests genuinely overlap.  Results come back in request order.
 ``confidence_batch``
     Per-tuple ``conf()`` of a named relation through
     :meth:`~repro.db.session.Session.confidence_batch`.
@@ -68,6 +72,7 @@ from repro.errors import (
     UnknownRelationError,
     UnknownValueError,
     UnknownVariableError,
+    WorkerPoolError,
     WorldTableError,
     ZeroProbabilityConditionError,
 )
@@ -75,8 +80,14 @@ from repro.errors import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sql.executor import QueryResult
 
-#: Version carried by every frame; the server rejects every other value.
-PROTOCOL_VERSION = 1
+#: Version the clients of this build send on every frame.
+PROTOCOL_VERSION = 2
+
+#: Versions the server answers.  Version 1 (PR 4) lacks ``confidence_many``
+#: but is otherwise identical, so v1 clients keep working unchanged; a v1
+#: frame asking for a v2-only operation gets the same ``unknown-op`` error an
+#: actual v1 server would send.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Default TCP port of ``python -m repro.server`` (the paper's year).
 DEFAULT_PORT = 2008
@@ -88,7 +99,18 @@ DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
 HEADER = struct.Struct(">I")
 
 #: Operations the server understands.
-OPS = ("ping", "stats", "confidence", "confidence_batch", "execute", "execute_script")
+OPS = (
+    "ping",
+    "stats",
+    "confidence",
+    "confidence_many",
+    "confidence_batch",
+    "execute",
+    "execute_script",
+)
+
+#: Operations that exist only from the given protocol version on.
+OPS_SINCE_VERSION = {"confidence_many": 2}
 
 #: Exception class -> wire error code, most specific classes first (the first
 #: ``isinstance`` match wins, so subclasses must precede their bases).
@@ -107,6 +129,7 @@ ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
     (DescriptorError, "descriptor"),
     (ZeroProbabilityConditionError, "zero-probability-condition"),
     (ConditioningError, "conditioning"),
+    (WorkerPoolError, "worker-pool"),
     (ReproError, "repro"),
 )
 
@@ -195,6 +218,7 @@ def exception_for(code: str, message: str, detail: dict | None = None) -> ReproE
         "descriptor": DescriptorError,
         "zero-probability-condition": ZeroProbabilityConditionError,
         "conditioning": ConditioningError,
+        "worker-pool": WorkerPoolError,
         "repro": ReproError,
     }
     cls = plain.get(code)
@@ -213,20 +237,29 @@ def request_frame(op: str, args: dict | None = None, *, id: int) -> dict:
     return {"v": PROTOCOL_VERSION, "id": id, "op": op, "args": args or {}}
 
 
-def ok_frame(id: object, result: object) -> dict:
-    """A success response echoing the request ``id``."""
-    return {"v": PROTOCOL_VERSION, "id": id, "ok": True, "result": result}
+def ok_frame(id: object, result: object, *, version: int = PROTOCOL_VERSION) -> dict:
+    """A success response echoing the request ``id`` (and its ``version``)."""
+    return {"v": version, "id": id, "ok": True, "result": result}
 
 
-def error_frame(id: object, code: str, message: str, detail: dict | None = None) -> dict:
+def error_frame(
+    id: object,
+    code: str,
+    message: str,
+    detail: dict | None = None,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> dict:
     """An error response; ``id`` is ``None`` when the request had none."""
     error: dict = {"code": code, "message": message}
     if detail:
         error["detail"] = detail
-    return {"v": PROTOCOL_VERSION, "id": id, "ok": False, "error": error}
+    return {"v": version, "id": id, "ok": False, "error": error}
 
 
-def encode_frame(payload: dict, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+def encode_frame(
+    payload: dict, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
     """Serialise one frame: length prefix plus compact JSON body."""
     body = json.dumps(payload, separators=(",", ":"), allow_nan=True).encode("utf-8")
     if len(body) > max_frame_bytes:

@@ -41,7 +41,9 @@ from repro.errors import ProtocolError, QueryError, ReproError
 from repro.server import protocol
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    OPS_SINCE_VERSION,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     error_frame,
     ok_frame,
 )
@@ -49,6 +51,7 @@ from repro.server.protocol import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.probability import ExactConfig
     from repro.db.database import ProbabilisticDatabase
+    from repro.db.session import ConfidenceResult
 
 logger = logging.getLogger("repro.server")
 
@@ -116,6 +119,7 @@ class ConfidenceServer:
         config: "ExactConfig | None" = None,
         memo_limit: int | None = None,
         workers: int | None = None,
+        executor: str | None = None,
         epsilon: float = 0.1,
         delta: float = 0.01,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
@@ -125,6 +129,11 @@ class ConfidenceServer:
         self._port = port
         self._max_frame_bytes = max_frame_bytes
         options = {"epsilon": epsilon, "delta": delta, "workers": workers}
+        if executor is not None:
+            # "process" is the scale-out mode: cold exact computations from
+            # every connection fan out across a shared process pool while the
+            # memo and the interned space stay in this (parent) process.
+            options["executor"] = executor
         if memo_limit is not None:
             options["memo_limit"] = memo_limit
         self._pool = SessionPool(database, config, size=pool_size, **options)
@@ -140,9 +149,15 @@ class ConfidenceServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
-        """Bind and start accepting connections; returns ``(host, port)``."""
+        """Bind and start accepting connections; returns ``(host, port)``.
+
+        With a process executor the worker pool is warmed up first (in a
+        thread, so the loop stays responsive), sparing the first client the
+        process-spawn latency.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
+        await asyncio.to_thread(self._pool.session.handle.warm_up)
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
@@ -258,29 +273,47 @@ class ConfidenceServer:
         )
 
     async def _respond(self, frame: dict) -> dict:
-        """Map one request frame onto one response frame (never raises)."""
+        """Map one request frame onto one response frame (never raises).
+
+        Responses echo the request's protocol version, so a v1 client keeps
+        seeing v1 frames.  Operations newer than the request's version are
+        answered with ``unknown-op`` — exactly what a server of that version
+        would have said.
+        """
         id = frame.get("id")
         if not (id is None or isinstance(id, (int, str))):
             id = None
-        if frame.get("v") != PROTOCOL_VERSION:
+        version = frame.get("v")
+        if version not in SUPPORTED_VERSIONS:
             self._errors_total += 1
+            supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
             return error_frame(
                 id,
                 "unsupported-version",
-                f"this server speaks protocol version {PROTOCOL_VERSION}, "
-                f"got {frame.get('v')!r}",
+                f"this server speaks protocol versions {supported}, "
+                f"got {version!r}",
             )
         op = frame.get("op")
-        if op not in protocol.OPS:
+        if op not in protocol.OPS or OPS_SINCE_VERSION.get(op, 1) > version:
             self._errors_total += 1
+            known = ", ".join(
+                name
+                for name in protocol.OPS
+                if OPS_SINCE_VERSION.get(name, 1) <= version
+            )
             return error_frame(
-                id, "unknown-op",
-                f"unknown operation {op!r}; known: {', '.join(protocol.OPS)}",
+                id,
+                "unknown-op",
+                f"unknown operation {op!r} in protocol version {version}; "
+                f"known: {known}",
+                version=version,
             )
         args = frame.get("args") or {}
         if not isinstance(args, dict):
             self._errors_total += 1
-            return error_frame(id, "malformed-frame", "args must be an object")
+            return error_frame(
+                id, "malformed-frame", "args must be an object", version=version
+            )
         self._requests_total += 1
         try:
             result = await self._dispatch(op, args)
@@ -288,16 +321,21 @@ class ConfidenceServer:
             self._errors_total += 1
             return error_frame(
                 id, protocol.error_code(error), str(error),
-                protocol.error_detail(error),
+                protocol.error_detail(error), version=version,
             )
         except (KeyError, TypeError, ValueError) as error:
             self._errors_total += 1
-            return error_frame(id, "malformed-frame", f"bad arguments for {op}: {error}")
+            return error_frame(
+                id, "malformed-frame", f"bad arguments for {op}: {error}",
+                version=version,
+            )
         except Exception as error:  # noqa: BLE001 - a request must never kill the server
             logger.exception("internal error answering %s", op)
             self._errors_total += 1
-            return error_frame(id, "internal", f"{type(error).__name__}: {error}")
-        return ok_frame(id, result)
+            return error_frame(
+                id, "internal", f"{type(error).__name__}: {error}", version=version
+            )
+        return ok_frame(id, result, version=version)
 
     # ------------------------------------------------------------------
     # Operations
@@ -315,6 +353,11 @@ class ConfidenceServer:
             async with self._gate:
                 result = await self._pool.acquire().query(request)
             return result.to_payload()
+        if op == "confidence_many":
+            requests = self._many_requests(args)
+            async with self._gate:
+                results = await self._confidence_many(requests)
+            return {"results": [result.to_payload() for result in results]}
         if op == "confidence_batch":
             async with self._gate:
                 return await self._confidence_batch(args)
@@ -339,6 +382,46 @@ class ConfidenceServer:
         gate like confidence queries.
         """
         return self._gate.exclusive() if _mutates(sql) else self._gate
+
+    @staticmethod
+    def _many_requests(args: dict) -> list[ConfidenceRequest]:
+        """Decode and validate the request list of a ``confidence_many`` frame."""
+        unknown = set(args) - {"requests"}
+        if unknown:
+            raise QueryError(f"unknown confidence_many options {sorted(unknown)}")
+        payloads = args.get("requests")
+        if not isinstance(payloads, list):
+            raise QueryError(
+                f"confidence_many needs a list of requests, got {payloads!r}"
+            )
+        return [ConfidenceRequest.from_payload(payload) for payload in payloads]
+
+    async def _confidence_many(
+        self, requests: list[ConfidenceRequest]
+    ) -> list["ConfidenceResult"]:
+        """Answer a batch by fanning it out across the session pool.
+
+        Each request goes to its own pool member, so the batch pipelines up
+        to ``pool_size`` requests; with ``executor="process"`` the engine
+        handle releases its lock during worker computation, making the
+        fan-out genuinely parallel across cores.  Results keep request
+        order, and the whole batch shares the one gate acquisition of its
+        frame.  A failing request fails the batch with its typed error —
+        batches are all-or-nothing, like every other frame.  The error is
+        only sent once *every* request of the batch has finished (the first
+        failure in request order wins): answering early would leave the
+        still-running requests occupying pool members invisibly, stalling
+        the client's own retries behind zombie computations.
+        """
+        members = [self._pool.acquire() for _ in requests]
+        results = await asyncio.gather(
+            *(member.query(request) for member, request in zip(members, requests)),
+            return_exceptions=True,
+        )
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
 
     async def _confidence_batch(self, args: dict) -> dict:
         relation = args.get("relation")

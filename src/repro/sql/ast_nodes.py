@@ -96,7 +96,9 @@ class SelectStatement:
         """True for ``select true from ...`` — a Boolean query (Figure 10 style)."""
         if isinstance(self.columns, Star):
             return False
-        return len(self.columns) == 1 and isinstance(self.columns[0].expression, Literal)
+        return len(self.columns) == 1 and isinstance(
+            self.columns[0].expression, Literal
+        )
 
     def conf_columns(self) -> tuple[ConfCall, ...]:
         """All ``conf()`` calls in the select list."""

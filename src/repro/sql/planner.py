@@ -45,7 +45,6 @@ from repro.sql.ast_nodes import (
     Comparison,
     ConfCall,
     Literal,
-    SelectColumn,
     SelectStatement,
     Star,
 )
@@ -170,7 +169,9 @@ class _Scope:
         return tuple(resolved), tuple(labels)
 
 
-def _equijoin_plan(scope: _Scope, predicate: Predicate) -> tuple[URelation, Predicate | None]:
+def _equijoin_plan(
+    scope: _Scope, predicate: Predicate
+) -> tuple[URelation, Predicate | None]:
     """Join the FROM list greedily along ``a.x = b.y`` conjuncts.
 
     Returns the joined relation and the residual predicate still to apply
@@ -277,7 +278,9 @@ def translate_condition(condition, scope: _Scope) -> Predicate:
             )
         )
     if isinstance(condition, BooleanExpression):
-        translated = tuple(translate_condition(part, scope) for part in condition.operands)
+        translated = tuple(
+            translate_condition(part, scope) for part in condition.operands
+        )
         if condition.operator == "and":
             return And(translated)
         if condition.operator == "or":

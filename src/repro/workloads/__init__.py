@@ -12,7 +12,11 @@
 """
 
 from repro.workloads.tpch import TPCHGenerator, TPCHInstance, query_q1, query_q2
-from repro.workloads.hard import HardCaseParameters, generate_hard_wsset, generate_hard_instance
+from repro.workloads.hard import (
+    HardCaseParameters,
+    generate_hard_wsset,
+    generate_hard_instance,
+)
 from repro.workloads.random_instances import (
     random_world_table,
     random_wsset,

@@ -196,7 +196,8 @@ class TPCHGenerator:
         rows = []
         for order in orders:
             orderkey = order[0]
-            for linenumber in range(1, rng.randint(1, 2 * AVERAGE_LINEITEMS_PER_ORDER - 1) + 1):
+            line_count = rng.randint(1, 2 * AVERAGE_LINEITEMS_PER_ORDER - 1)
+            for linenumber in range(1, line_count + 1):
                 quantity = rng.randint(1, 50)
                 extended_price = round(quantity * rng.uniform(900.0, 2000.0), 2)
                 rows.append(

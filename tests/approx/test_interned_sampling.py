@@ -63,7 +63,9 @@ class TestInternedKarpLuby:
         assert interned.estimate == pytest.approx(legacy.estimate, abs=0.03)
         # Identical clause weights (the cheap part must not drift either).
         assert KarpLubyEstimator(ws_set, world_table, interned=True).weights == \
-            pytest.approx(KarpLubyEstimator(ws_set, world_table, interned=False).weights)
+            pytest.approx(
+                KarpLubyEstimator(ws_set, world_table, interned=False).weights
+            )
 
     def test_seeded_runs_are_reproducible(self):
         world_table, ws_set = random_instance(6300)

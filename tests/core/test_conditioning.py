@@ -60,7 +60,9 @@ class TestIntroductionExample:
 
     def test_posterior_marginals_match_bayes(self, figure2_world_table):
         result = condition_wsset(self.condition, self.tuples(), figure2_world_table)
-        marginals = posterior_tuple_marginals(result, self.tuples(), figure2_world_table)
+        marginals = posterior_tuple_marginals(
+            result, self.tuples(), figure2_world_table
+        )
         assert marginals["bill4"] == pytest.approx(0.3 / 0.44)
         assert marginals["bill7"] == pytest.approx(1 - 0.3 / 0.44)
         assert marginals["john1"] == pytest.approx(0.2 / 0.44)
@@ -100,7 +102,9 @@ class TestExample52:
         result = condition_wsset(figure3_wsset, self.tuples(), figure3_world_table)
         assert result.confidence == pytest.approx(0.7578)
 
-    def test_posterior_marginals_match_brute_force(self, figure3_wsset, figure3_world_table):
+    def test_posterior_marginals_match_brute_force(
+        self, figure3_wsset, figure3_world_table
+    ):
         result = condition_wsset(figure3_wsset, self.tuples(), figure3_world_table)
         expected = brute_force_tuple_marginals(
             figure3_wsset, self.tuples(), figure3_world_table
@@ -142,7 +146,9 @@ class TestExample52:
             literal_independence_rule=True,
         )
         assert literal.confidence == pytest.approx(0.7578)
-        marginals = posterior_tuple_marginals(literal, self.tuples(), figure3_world_table)
+        marginals = posterior_tuple_marginals(
+            literal, self.tuples(), figure3_world_table
+        )
         expected = brute_force_tuple_marginals(
             figure3_wsset, self.tuples(), figure3_world_table
         )
@@ -203,7 +209,9 @@ class TestEdgeCasesAndSimplifications:
         assert result.rewritten["t"] == [WSDescriptor({"j": 1})]
         assert len(result.delta_world_table) == 0
 
-    def test_tuple_absent_from_every_surviving_world_is_dropped(self, figure2_world_table):
+    def test_tuple_absent_from_every_surviving_world_is_dropped(
+        self, figure2_world_table
+    ):
         condition = WSSet([{"j": 1}])
         tuples = [("gone", WSDescriptor({"j": 7})), ("kept", WSDescriptor({"b": 4}))]
         result = condition_wsset(condition, tuples, figure2_world_table)
@@ -250,7 +258,9 @@ class TestEdgeCasesAndSimplifications:
             actual = posterior_tuple_marginals(result, tuples, w)
             assert actual["t"] == pytest.approx(expected["t"])
 
-    def test_conditioned_world_table_restricts_to_used_variables(self, figure2_world_table):
+    def test_conditioned_world_table_restricts_to_used_variables(
+        self, figure2_world_table
+    ):
         condition = WSSet([{"j": 1}, {"j": 7, "b": 4}])
         tuples = [("t", WSDescriptor({"b": 4}))]
         result = condition_wsset(condition, tuples, figure2_world_table)
@@ -266,9 +276,9 @@ class TestPosteriorProbabilityFormulation:
     def test_matches_conditional_probability(self, figure2_world_table):
         event = WSSet([{"b": 4}])
         condition = WSSet([{"j": 1}, {"j": 7, "b": 4}])
-        assert posterior_probability(event, condition, figure2_world_table) == pytest.approx(
-            0.3 / 0.44
-        )
+        assert posterior_probability(
+            event, condition, figure2_world_table
+        ) == pytest.approx(0.3 / 0.44)
 
     def test_zero_condition_raises(self, figure2_world_table):
         with pytest.raises(ZeroProbabilityConditionError):

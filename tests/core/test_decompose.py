@@ -20,7 +20,6 @@ from repro.core.decompose import (
 )
 from repro.core.wsset import WSSet
 from repro.core.wstree import BottomNode, IndependentNode, LeafNode
-from repro.db.world_table import WorldTable
 from repro.errors import BudgetExceededError
 from repro.workloads.random_instances import random_world_table, random_wsset
 
@@ -53,7 +52,9 @@ class TestFigure3:
         assert isinstance(tree, IndependentNode)
         assert len(tree.children) == 2
 
-    def test_probability_of_tree_matches_example_47(self, figure3_wsset, figure3_world_table):
+    def test_probability_of_tree_matches_example_47(
+        self, figure3_wsset, figure3_world_table
+    ):
         tree = compute_tree(figure3_wsset, figure3_world_table)
         assert tree.probability(figure3_world_table) == pytest.approx(0.7578)
 
@@ -127,7 +128,10 @@ class TestHelpers:
         descriptors = [{"x": 1, "y": 2}, {"y": 1}, {"z": 3}, {"w": 1, "q": 2}]
         components = connected_components(descriptors)
         as_sets = sorted(
-            [sorted(frozenset(d.items()) for d in component) for component in components],
+            [
+                sorted(frozenset(d.items()) for d in component)
+                for component in components
+            ],
             key=repr,
         )
         assert len(components) == 3

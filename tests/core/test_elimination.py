@@ -14,7 +14,6 @@ from repro.core.elimination import (
     mutex_normal_form,
 )
 from repro.core.wsset import WSSet
-from repro.db.world_table import WorldTable
 from repro.errors import BudgetExceededError
 from repro.workloads.random_instances import random_world_table, random_wsset
 
@@ -27,7 +26,9 @@ class TestExamples:
         the total is P(j→1) + P(j→7) = 1.
         """
         s = WSSet([{"j": 1}, {"j": 7}, {"j": 1, "b": 4}])
-        assert descriptor_elimination_probability(s, figure2_world_table) == pytest.approx(1.0)
+        assert descriptor_elimination_probability(
+            s, figure2_world_table
+        ) == pytest.approx(1.0)
 
     def test_example_47_wsset(self, figure3_wsset, figure3_world_table):
         assert descriptor_elimination_probability(
@@ -43,16 +44,22 @@ class TestExamples:
 
 class TestEdgeCases:
     def test_empty_set(self, figure3_world_table):
-        assert descriptor_elimination_probability(WSSet.empty(), figure3_world_table) == 0.0
+        assert (
+            descriptor_elimination_probability(WSSet.empty(), figure3_world_table)
+            == 0.0
+        )
 
     def test_universal_set(self, figure3_world_table):
-        assert descriptor_elimination_probability(WSSet.universal(), figure3_world_table) == 1.0
+        assert (
+            descriptor_elimination_probability(WSSet.universal(), figure3_world_table)
+            == 1.0
+        )
 
     def test_single_descriptor(self, figure3_world_table):
         s = WSSet([{"x": 2, "y": 1}])
-        assert descriptor_elimination_probability(s, figure3_world_table) == pytest.approx(
-            0.4 * 0.2
-        )
+        assert descriptor_elimination_probability(
+            s, figure3_world_table
+        ) == pytest.approx(0.4 * 0.2)
 
     def test_stats_counts(self, figure3_wsset, figure3_world_table):
         result = descriptor_elimination_with_stats(figure3_wsset, figure3_world_table)
@@ -77,9 +84,9 @@ class TestMutexNormalForm:
     def test_corollary_64_equivalence(self, figure3_wsset, figure3_world_table):
         normal_form = mutex_normal_form(figure3_wsset, figure3_world_table)
         assert normal_form.is_pairwise_mutex()
-        assert brute_force_probability(normal_form, figure3_world_table) == pytest.approx(
-            brute_force_probability(figure3_wsset, figure3_world_table)
-        )
+        assert brute_force_probability(
+            normal_form, figure3_world_table
+        ) == pytest.approx(brute_force_probability(figure3_wsset, figure3_world_table))
 
     def test_mutex_normal_form_of_mutex_set_is_itself(self, figure2_world_table):
         s = WSSet([{"j": 1}, {"j": 7, "b": 4}])

@@ -55,7 +55,9 @@ class TestEdgeCases:
 
     def test_mutex_descriptors_add_up(self, figure3_world_table):
         s = WSSet([{"x": 1, "y": 1}, {"x": 2, "y": 2}])
-        assert probability(s, figure3_world_table) == pytest.approx(0.1 * 0.2 + 0.4 * 0.8)
+        assert probability(s, figure3_world_table) == pytest.approx(
+            0.1 * 0.2 + 0.4 * 0.8
+        )
 
     def test_independent_descriptors_inclusion_exclusion(self, figure3_world_table):
         s = WSSet([{"u": 1}, {"v": 1}])
@@ -97,7 +99,9 @@ class TestConfigurations:
         self, config, figure3_wsset, figure3_world_table
     ):
         expected = brute_force_probability(figure3_wsset, figure3_world_table)
-        assert probability(figure3_wsset, figure3_world_table, config) == pytest.approx(expected)
+        assert probability(
+            figure3_wsset, figure3_world_table, config
+        ) == pytest.approx(expected)
 
     def test_labels(self):
         assert ExactConfig.indve("minlog").label == "indve(minlog)"

@@ -1,0 +1,218 @@
+"""Unit tests of the process-pool execution backend (:mod:`repro.core.procpool`).
+
+The backend's contract: task units and the id-space snapshot pickle cheaply,
+worker-side engines compute exactly what the parent's engine would, chunking
+preserves component order, worker-raised repro errors re-raise with their own
+types without hurting the pool, and a pool broken outside Python surfaces a
+typed :class:`~repro.errors.WorkerPoolError` after which the backend rebuilds
+itself lazily.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core.interned import InternedEngine
+from repro.core.probability import ExactConfig
+from repro.core.procpool import (
+    ProcessPoolBackend,
+    SpaceSnapshot,
+    _compute_chunk,
+    chunk_components,
+)
+from repro.core.wsset import WSSet
+from repro.errors import BudgetExceededError, WorkerPoolError
+from repro.workloads.random_instances import random_world_table
+
+
+def interned_instance(seed, *, groups=4, group_size=4, per_group=6):
+    """A multi-⊗-component instance in interned form: (space, components)."""
+    rng = random.Random(seed)
+    world_table = random_world_table(
+        rng, num_variables=groups * group_size, max_domain_size=3
+    )
+    variables = list(world_table.variables)
+    descriptors = []
+    for index in range(groups):
+        group = variables[index * group_size : (index + 1) * group_size]
+        for _ in range(per_group):
+            chosen = rng.sample(group, rng.randint(2, min(3, len(group))))
+            descriptors.append(
+                {v: rng.choice(list(world_table.domain(v))) for v in chosen}
+            )
+    engine = InternedEngine(world_table, ExactConfig())
+    interned = engine.space.intern_wsset(WSSet(descriptors))
+    components = engine.components_of(interned)
+    return world_table, engine, components
+
+
+class TestSpaceSnapshot:
+    def test_snapshot_pickles_and_preserves_geometry(self):
+        world_table, engine, _ = interned_instance(1)
+        space = engine.space
+        snapshot = SpaceSnapshot.of_space(space, generation=3)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.generation == 3
+        assert clone.shift == space.shift and clone.mask == space.mask
+        assert clone.weights == space.weights
+        for variable_id in range(len(space.variables)):
+            assert clone.domain_size(variable_id) == space.domain_size(variable_id)
+
+    def test_snapshot_weight_matches_space(self):
+        _, engine, components = interned_instance(2)
+        space = engine.space
+        snapshot = SpaceSnapshot.of_space(space, generation=1)
+        for component in components:
+            for descriptor in component:
+                for packed in descriptor:
+                    assert snapshot.weight(packed) == space.weight(packed)
+
+    def test_engine_over_snapshot_equals_engine_over_space(self):
+        _, engine, components = interned_instance(3)
+        snapshot = SpaceSnapshot.of_space(engine.space, generation=1)
+        worker_engine = InternedEngine(
+            None, engine.config, record_elimination_order=False, space=snapshot
+        )
+        for component in components:
+            assert worker_engine.run(list(component)) == engine.run(list(component))
+
+
+class TestChunking:
+    def test_empty_and_single(self):
+        assert chunk_components([], 4) == []
+        assert chunk_components([[("d",)]], 4) == [[[("d",)]]]
+
+    def test_order_preserved_and_batches_nonempty(self):
+        components = [[("a",)] * size for size in (5, 1, 1, 7, 2, 2, 1)]
+        for chunks in (1, 2, 3, 4, 7, 12):
+            batches = chunk_components(components, chunks)
+            assert all(batches)
+            flattened = [component for batch in batches for component in batch]
+            assert flattened == components
+            assert len(batches) == min(chunks, len(components))
+
+    def test_balances_by_descriptor_count(self):
+        components = [[("a",)] * size for size in (8, 1, 1, 1, 1, 1, 1, 2)]
+        batches = chunk_components(components, 2)
+        weights = [sum(len(c) for c in batch) for batch in batches]
+        assert weights == [8, 8]
+
+
+class TestWorkerTask:
+    def test_compute_chunk_runs_in_this_process_too(self):
+        # The worker function is a plain function: calling it in-process must
+        # give exactly the parent engine's values (that is the bit-identical
+        # guarantee in miniature).
+        _, engine, components = interned_instance(4)
+        snapshot = SpaceSnapshot.of_space(engine.space, generation=99)
+        results = _compute_chunk(snapshot, engine.config, components, None, None)
+        assert [value for value, _ in results] == [
+            engine.run(list(component)) for component in components
+        ]
+        assert all(seconds >= 0.0 for _, seconds in results)
+
+    def test_compute_chunk_budget_is_per_component(self):
+        _, engine, components = interned_instance(5, groups=2, per_group=8)
+        snapshot = SpaceSnapshot.of_space(engine.space, generation=100)
+        with pytest.raises(BudgetExceededError):
+            _compute_chunk(snapshot, engine.config, components, 2, None)
+
+
+class TestBackend:
+    @pytest.fixture(scope="class")
+    def backend(self):
+        backend = ProcessPoolBackend(2)
+        yield backend
+        backend.close()
+
+    def test_compute_matches_serial_and_reuses_pool(self, backend):
+        _, engine, components = interned_instance(6)
+        expected = [engine.run(list(component)) for component in components]
+        first = backend.compute(engine.space, engine.config, components, None, None)
+        second = backend.compute(engine.space, engine.config, components, None, None)
+        assert [value for value, _ in first] == expected
+        assert [value for value, _ in second] == expected
+        assert backend.components_dispatched == 2 * len(components)
+
+    def test_worker_exception_is_typed_and_pool_survives(self, backend):
+        _, engine, components = interned_instance(7)
+        with pytest.raises(BudgetExceededError):
+            backend.compute(engine.space, engine.config, components, 1, None)
+        # The pool is still healthy: the same computation succeeds unbudgeted.
+        values = backend.compute(engine.space, engine.config, components, None, None)
+        assert len(values) == len(components)
+
+    def test_generation_changes_with_space_identity(self, backend):
+        world_table, engine, components = interned_instance(8)
+        first = backend.snapshot_of(engine.space)
+        again = backend.snapshot_of(engine.space)
+        assert first is again
+        world_table.add_variable("fresh", {0: 0.5, 1: 0.5})
+        rebuilt = InternedEngine(world_table, engine.config)
+        second = backend.snapshot_of(rebuilt.space)
+        assert second.generation > first.generation
+
+    def test_invalidate_mints_a_new_generation(self, backend):
+        _, engine, _ = interned_instance(9)
+        before = backend.snapshot_of(engine.space)
+        backend.invalidate()
+        after = backend.snapshot_of(engine.space)
+        assert after.generation > before.generation
+
+    def test_empty_components_short_circuit(self, backend):
+        _, engine, _ = interned_instance(10)
+        assert backend.compute(engine.space, engine.config, [], None, None) == []
+
+
+class TestBrokenPool:
+    def test_broken_pool_raises_worker_pool_error_and_recovers(self):
+        backend = ProcessPoolBackend(2)
+        try:
+            _, engine, components = interned_instance(11)
+
+            class _BrokenExecutor:
+                def submit(self, *args, **kwargs):
+                    raise BrokenProcessPool("worker died")
+
+                def shutdown(self, *args, **kwargs):
+                    pass
+
+            # Simulate a pool whose workers were killed: submit() raises.
+            backend._executor = _BrokenExecutor()
+            with pytest.raises(WorkerPoolError):
+                backend.compute(engine.space, engine.config, components, None, None)
+            # The broken executor was discarded; the next computation builds
+            # a fresh pool and succeeds.
+            assert backend._executor is None
+            values = backend.compute(
+                engine.space, engine.config, components, None, None
+            )
+            assert [value for value, _ in values] == [
+                engine.run(list(component)) for component in components
+            ]
+        finally:
+            backend.close()
+
+    def test_worker_pool_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(WorkerPoolError, ReproError)
+        assert issubclass(WorkerPoolError, RuntimeError)
+
+    def test_backend_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(0)
+
+    def test_closed_backend_refuses_to_respawn(self):
+        # A computation racing close() must get a typed error, not silently
+        # spawn a replacement pool that nothing would ever shut down.
+        backend = ProcessPoolBackend(2)
+        backend.close()
+        _, engine, components = interned_instance(12)
+        with pytest.raises(WorkerPoolError, match="closed"):
+            backend.compute(engine.space, engine.config, components, None, None)
+        assert backend._executor is None

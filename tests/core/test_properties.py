@@ -41,7 +41,9 @@ def world_tables(draw, min_variables: int = 2, max_variables: int = 4):
 
 
 @st.composite
-def wssets(draw, table: WorldTable, max_descriptors: int = 5, allow_empty: bool = False):
+def wssets(
+    draw, table: WorldTable, max_descriptors: int = 5, allow_empty: bool = False
+):
     """A random ws-set over ``table``."""
     variables = list(table.variables)
     descriptor_count = draw(st.integers(0 if allow_empty else 1, max_descriptors))
@@ -49,7 +51,12 @@ def wssets(draw, table: WorldTable, max_descriptors: int = 5, allow_empty: bool 
     for _ in range(descriptor_count):
         length = draw(st.integers(1, min(3, len(variables))))
         chosen = draw(
-            st.lists(st.sampled_from(variables), min_size=length, max_size=length, unique=True)
+            st.lists(
+                st.sampled_from(variables),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
         )
         descriptors.append(
             WSDescriptor(
@@ -92,7 +99,9 @@ class TestSetOperationProperties:
         table = data.draw(world_tables())
         ws_set = data.draw(wssets(table))
         complement = ws_set.complement(table)
-        assert probability(ws_set, table) + probability(complement, table) == pytest.approx(1.0)
+        assert probability(ws_set, table) + probability(
+            complement, table
+        ) == pytest.approx(1.0)
         assert worlds_of(ws_set, table) & worlds_of(complement, table) == set()
 
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
@@ -112,7 +121,9 @@ class TestExactProbabilityProperties:
         expected = brute_force_probability(ws_set, table)
         assert probability(ws_set, table) == pytest.approx(expected)
         assert probability(ws_set, table, ExactConfig.ve("minmax")) == pytest.approx(expected)
-        assert descriptor_elimination_probability(ws_set, table) == pytest.approx(expected)
+        assert descriptor_elimination_probability(ws_set, table) == pytest.approx(
+            expected
+        )
 
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
     @given(data=st.data())
@@ -121,7 +132,9 @@ class TestExactProbabilityProperties:
         ws_set = data.draw(wssets(table))
         tree = compute_tree(ws_set, table)
         tree.validate(table)
-        assert tree.probability(table) == pytest.approx(brute_force_probability(ws_set, table))
+        assert tree.probability(table) == pytest.approx(
+            brute_force_probability(ws_set, table)
+        )
         assert worlds_of(tree.to_wsset(), table) == worlds_of(ws_set, table)
 
     @settings(max_examples=MAX_EXAMPLES, deadline=None)
@@ -141,7 +154,9 @@ class TestExactProbabilityProperties:
         s2 = data.draw(wssets(table))
         union_probability = probability(s1.union(s2), table)
         assert union_probability >= probability(s1, table) - 1e-9
-        assert union_probability <= probability(s1, table) + probability(s2, table) + 1e-9
+        assert (
+            union_probability <= probability(s1, table) + probability(s2, table) + 1e-9
+        )
 
 
 class TestConditioningProperties:

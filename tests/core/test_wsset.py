@@ -115,7 +115,9 @@ class TestSetOperationSemantics:
             worlds_of(s1, two_variable_table) - worlds_of(s2, two_variable_table)
         )
 
-    def test_difference_of_single_descriptor_is_pairwise_mutex(self, two_variable_table):
+    def test_difference_of_single_descriptor_is_pairwise_mutex(
+        self, two_variable_table
+    ):
         # Proposition 3.4: carving one descriptor's world-set produces pairwise
         # mutex pieces (the property Section 6's WE method relies on).
         s1 = WSSet([EMPTY_DESCRIPTOR])
@@ -137,7 +139,9 @@ class TestSetOperationSemantics:
 
     def test_complement_of_empty_is_universal(self, two_variable_table):
         complement = WSSet.empty().complement(two_variable_table)
-        assert brute_force_probability(complement, two_variable_table) == pytest.approx(1.0)
+        assert brute_force_probability(
+            complement, two_variable_table
+        ) == pytest.approx(1.0)
 
 
 class TestLiftedProperties:
@@ -182,4 +186,6 @@ class TestLiftedProperties:
         s = WSSet([{"j": 1}, {"j": 7}])
         assert s.naive_probability_upper_bound(two_variable_table) == pytest.approx(1.0)
         overlapping = WSSet([{"j": 1}, EMPTY_DESCRIPTOR])
-        assert overlapping.naive_probability_upper_bound(two_variable_table) == pytest.approx(1.2)
+        assert overlapping.naive_probability_upper_bound(
+            two_variable_table
+        ) == pytest.approx(1.2)

@@ -71,7 +71,10 @@ class TestConfidenceQueries:
     def test_prior_bill_confidences(self, ssn_database):
         """select SSN, conf(SSN) from R where NAME = 'Bill' (introduction)."""
         bill = select(ssn_database.relation("R"), attr("NAME") == "Bill")
-        rows = {row.values[0]: row.confidence for row in ssn_database.tuple_confidences(bill)}
+        rows = {
+            row.values[0]: row.confidence
+            for row in ssn_database.tuple_confidences(bill)
+        }
         assert rows[4] == pytest.approx(0.3)
         assert rows[7] == pytest.approx(0.7)
 
@@ -153,7 +156,9 @@ class TestConditioningEndToEnd:
         posterior, summary = ssn_database.conditioned(fd, ExactConfig.indve("minlog"))
         assert summary.confidence == pytest.approx(0.44)
         bill = select(posterior.relation("R"), attr("NAME") == "Bill")
-        rows = {row.values[0]: row.confidence for row in posterior.tuple_confidences(bill)}
+        rows = {
+            row.values[0]: row.confidence for row in posterior.tuple_confidences(bill)
+        }
         assert rows[4] == pytest.approx(0.3 / 0.44)
         assert rows[7] == pytest.approx(1 - 0.3 / 0.44)
         # The prior database is untouched.
@@ -177,7 +182,12 @@ class TestConditioningEndToEnd:
         satisfied = {}
         for world, probability, instance in ssn_database.possible_worlds():
             if condition.is_satisfied_by(world):
-                key = tuple(sorted((name, tuple(sorted(rows))) for name, rows in instance.items()))
+                key = tuple(
+                    sorted(
+                        (name, tuple(sorted(rows)))
+                        for name, rows in instance.items()
+                    )
+                )
                 satisfied[key] = satisfied.get(key, 0.0) + probability
         mass = sum(satisfied.values())
         expected = {key: value / mass for key, value in satisfied.items()}
@@ -196,7 +206,11 @@ class TestConditioningEndToEnd:
         add_fred(ssn_database)
         ssn_database.assert_condition(FunctionalDependency("R", ["SSN"], ["NAME"]))
         ssns = project(ssn_database.relation("R"), ["SSN"])
-        assert sorted(certain_tuples(ssns, ssn_database.world_table)) == [(1,), (4,), (7,)]
+        assert sorted(certain_tuples(ssns, ssn_database.world_table)) == [
+            (1,),
+            (4,),
+            (7,),
+        ]
         assert ssn_database.world_count() <= 4
 
     def test_posterior_confidence_without_materialisation(self, ssn_database):
@@ -220,7 +234,9 @@ class TestConditioningEndToEnd:
     @pytest.mark.parametrize("seed", range(6))
     def test_random_fd_conditioning_matches_brute_force(self, seed):
         rng = random.Random(4242 + seed)
-        database = random_tuple_independent_database(rng, num_tuples=5, num_attribute_values=2)
+        database = random_tuple_independent_database(
+            rng, num_tuples=5, num_attribute_values=2
+        )
         fd = FunctionalDependency("R", ["A"], ["B"])
         condition = fd.condition_wsset(database)
         if database.confidence(condition) == 0.0:

@@ -205,7 +205,9 @@ def test_session_hybrid_stays_exact_when_budget_suffices():
     assert result.method == "exact"
     assert not result.fell_back
     assert result.epsilon is None
-    assert abs(result.value - probability(instance.ws_set, instance.world_table)) < 1e-12
+    assert (
+        abs(result.value - probability(instance.ws_set, instance.world_table)) < 1e-12
+    )
 
 
 def test_adaptive_hybrid_budget_scales_with_instance_size():
@@ -223,7 +225,10 @@ def test_adaptive_hybrid_budget_scales_with_instance_size():
     # The default-scale budget never exceeds the historical constant ...
     assert huge == DEFAULT_HYBRID_MAX_CALLS
     # ... but the scale knob can push past it (or force an early fallback).
-    assert adaptive_hybrid_budget(100_000, 1_000, scale=2.0) == 2 * DEFAULT_HYBRID_MAX_CALLS
+    assert (
+        adaptive_hybrid_budget(100_000, 1_000, scale=2.0)
+        == 2 * DEFAULT_HYBRID_MAX_CALLS
+    )
     assert adaptive_hybrid_budget(64, 16, scale=1e-6) == 1
 
 

@@ -15,9 +15,15 @@ import pytest
 
 from repro.core.descriptors import EMPTY_DESCRIPTOR, WSDescriptor
 from repro.db import algebra
-from repro.db.predicates import And, Not, Or, TruePredicate, attr, equality_join_predicate
+from repro.db.predicates import (
+    And,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    equality_join_predicate,
+)
 from repro.db.urelation import URelation, UTuple
-from repro.db.world_table import WorldTable
 from repro.errors import QueryError, SchemaError, UnknownAttributeError
 from repro.workloads.random_instances import random_attribute_level_database
 
@@ -188,7 +194,9 @@ class TestAlgebra:
         right = ssn_relation.prefixed("r_")
         hashed = algebra.equijoin(left, right, [("l_SSN", "r_SSN")])
         nested = algebra.join(left, right, attr("l_SSN") == attr("r_SSN"))
-        key = lambda row: (repr(row.descriptor), row.values)
+        def key(row):
+            return (repr(row.descriptor), row.values)
+
         assert sorted(hashed, key=key) == sorted(nested, key=key)
 
     def test_union_and_schema_check(self, ssn_relation):
@@ -233,6 +241,6 @@ class TestAlgebraCommutesWithWorlds:
         for world in database.world_table.iter_worlds():
             rows = relation.in_world(world)
             expected = sorted(
-                l + r for l in rows for r in rows if l[1] == r[1]
+                a + b for a in rows for b in rows if a[1] == b[1]
             )
             assert sorted(joined.in_world(world)) == expected

@@ -7,7 +7,11 @@ import random
 import pytest
 
 from repro.db.world_table import WorldTable
-from repro.errors import InvalidDistributionError, UnknownValueError, UnknownVariableError
+from repro.errors import (
+    InvalidDistributionError,
+    UnknownValueError,
+    UnknownVariableError,
+)
 
 
 class TestConstruction:

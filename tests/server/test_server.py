@@ -22,7 +22,6 @@ import os
 import re
 import signal
 import socket
-import struct
 import subprocess
 import sys
 import threading
@@ -65,7 +64,9 @@ def hard_database(num_descriptors=48, seed=0):
 # Session-API mirroring and method equivalence
 # ----------------------------------------------------------------------
 class TestClientMirrorsSession:
-    def test_confidence_and_batch_match_local_session(self, running_server, ssn_database):
+    def test_confidence_and_batch_match_local_session(
+        self, running_server, ssn_database
+    ):
         local = ssn_database.session()
         expected = local.confidence("R").value
         expected_rows = {

@@ -199,7 +199,9 @@ class TestExecutor:
 
 def _row_set(relation):
     """Order-insensitive content of a planned relation, column order fixed."""
-    order = sorted(range(len(relation.attributes)), key=lambda i: relation.attributes[i])
+    order = sorted(
+        range(len(relation.attributes)), key=lambda i: relation.attributes[i]
+    )
     return {
         (row.descriptor, tuple(row.values[i] for i in order))
         for row in relation

@@ -35,7 +35,9 @@ class TestTPCH:
 
     def test_one_boolean_variable_per_tuple(self, tpch_instance):
         database = tpch_instance.database
-        total_rows = sum(len(database.relation(name)) for name in database.relation_names)
+        total_rows = sum(
+            len(database.relation(name)) for name in database.relation_names
+        )
         assert tpch_instance.variable_count == total_rows
         assert tpch_instance.relation_variable_count("lineitem") == tpch_instance.lineitem_count
 
@@ -76,7 +78,11 @@ class TestHardCases:
 
     def test_instance_shape(self):
         parameters = HardCaseParameters(
-            num_variables=12, alternatives=3, descriptor_length=4, num_descriptors=20, seed=5
+            num_variables=12,
+            alternatives=3,
+            descriptor_length=4,
+            num_descriptors=20,
+            seed=5,
         )
         instance = generate_hard_instance(parameters)
         assert instance.variable_count == 12
@@ -88,7 +94,11 @@ class TestHardCases:
 
     def test_descriptors_pick_one_variable_per_group(self):
         parameters = HardCaseParameters(
-            num_variables=8, alternatives=2, descriptor_length=2, num_descriptors=10, seed=1
+            num_variables=8,
+            alternatives=2,
+            descriptor_length=2,
+            num_descriptors=10,
+            seed=1,
         )
         _, ws_set = generate_hard_wsset(parameters)
         groups = [{f"x{i}" for i in range(0, 8, 2)}, {f"x{i}" for i in range(1, 8, 2)}]
