@@ -116,7 +116,10 @@ class EngineStats:
     dispatched, and ``worker_utilisation`` is the mean fraction of the pool
     that was busy while parallel computations ran (busy worker-seconds
     divided by ``workers ×`` parallel wall-seconds; 0.0 when nothing ran in
-    parallel).
+    parallel).  ``worker_retries`` counts process-pool chunks resubmitted
+    after a broken pool and ``pools_rebuilt`` the broken pools themselves —
+    both stay 0 unless workers actually died (see
+    :class:`~repro.core.procpool.ProcessPoolBackend`).
     """
 
     computations: int = 0
@@ -131,6 +134,8 @@ class EngineStats:
     parallel_computations: int = 0
     parallel_components: int = 0
     worker_utilisation: float = 0.0
+    worker_retries: int = 0
+    pools_rebuilt: int = 0
 
     @property
     def memo_hit_rate(self) -> float:
@@ -595,6 +600,7 @@ class EngineHandle:
             utilisation = self._parallel_busy_time / (
                 self._workers * self._parallel_wall_time
             )
+        backend = self._backend
         return EngineStats(
             computations=self._computations,
             frames=frames,
@@ -608,6 +614,8 @@ class EngineHandle:
             parallel_computations=self._parallel_computations,
             parallel_components=self._parallel_components,
             worker_utilisation=utilisation,
+            worker_retries=backend.chunk_retries if backend is not None else 0,
+            pools_rebuilt=backend.pools_broken if backend is not None else 0,
         )
 
     def __repr__(self) -> str:

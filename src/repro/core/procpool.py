@@ -31,9 +31,13 @@ The parent-side memo and the interned space never leave the parent process —
 dispatching and stores worker results back into it.
 
 A worker that dies outside Python (killed, segfault) breaks the executing
-pool: the backend then discards the pool, raises a typed
-:class:`~repro.errors.WorkerPoolError` for the in-flight computation, and
-lazily rebuilds the pool for the next one.
+pool.  Because every task is *pure* — packed ints in, floats out, the memo
+held by the parent — losing a worker loses no state, so the backend discards
+the broken pool, rebuilds it, and retries exactly the chunks whose results
+were lost, once.  Only when the retry breaks the pool *again* does the
+in-flight computation fail with a typed
+:class:`~repro.errors.WorkerPoolError`; either way the next computation runs
+on a fresh pool.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.decompose import Budget
 from repro.errors import WorkerPoolError
+from repro.testing import faults as _faults
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.interned import InternedEngine, InternedSpace, PackedDescriptor
@@ -157,6 +162,7 @@ def _compute_chunk(
     components: "list[list[PackedDescriptor]]",
     max_calls: int | None,
     time_limit: float | None,
+    fault: "_faults.Fault | None" = None,
 ) -> list[tuple[float, float]]:
     """Worker task: evaluate components in order, one fresh budget each.
 
@@ -166,7 +172,14 @@ def _compute_chunk(
     of one computation and across computations.  Each component re-arms a
     fresh budget — per-worker budget accounting, matching the thread
     backend.
+
+    ``fault`` is the chaos-testing hook (the ``procpool.worker`` fault
+    point): armed in the parent, shipped with the chunk, and executed here
+    *inside the worker* — a ``kill`` fault SIGKILLs this process
+    mid-computation, breaking the pool exactly the way a crashed worker
+    does.  ``None`` in ordinary operation.
     """
+    _faults.execute_in_worker(fault)
     global _worker_engine, _worker_generation
     engine = _worker_engine
     if engine is None or _worker_generation != snapshot.generation:
@@ -219,6 +232,10 @@ class ProcessPoolBackend:
         self._snapshot: SpaceSnapshot | None = None
         self.tasks_dispatched = 0
         self.components_dispatched = 0
+        #: Chunks resubmitted to a rebuilt pool after a mid-computation break.
+        self.chunk_retries = 0
+        #: Pools discarded because they broke (each is rebuilt on demand).
+        self.pools_broken = 0
 
     # -- lifecycle -------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -233,11 +250,22 @@ class ProcessPoolBackend:
                 )
             return self._executor
 
-    def _discard_executor(self) -> None:
+    def _discard_executor(self, executor: ProcessPoolExecutor | None = None) -> None:
+        """Drop the current pool (or ``executor``, if it is still current).
+
+        Passing the executor a computation actually used makes concurrent
+        breakage safe: when several threads hit the same broken pool, only
+        the first discard wins — the others must not tear down the *fresh*
+        pool a racing thread already rebuilt for its retry.
+        """
         with self._lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+            if executor is not None and self._executor is not executor:
+                return
+            current, self._executor = self._executor, None
+            if current is not None:
+                self.pools_broken += 1
+        if current is not None:
+            current.shutdown(wait=False, cancel_futures=True)
 
     def warm_up(self, *, per_worker_seconds: float = 0.05) -> None:
         """Spawn all workers now instead of on the first computation.
@@ -309,45 +337,108 @@ class ProcessPoolBackend:
         Components are chunked contiguously across the pool; a multi-chunk
         dispatch overlaps with other threads' concurrent ``compute`` calls.
         Worker-raised Python exceptions re-raise here with their own types
-        (first failing chunk in order wins, like the thread backend); a
-        broken pool surfaces as :class:`~repro.errors.WorkerPoolError` and
-        the pool is rebuilt lazily for the next computation.
+        (first failing chunk in order wins, like the thread backend).
+
+        A pool broken mid-computation (worker killed, segfault) does *not*
+        fail the computation outright: the broken pool is discarded, a fresh
+        one is built, and exactly the chunks whose results were lost are
+        resubmitted once — safe because tasks are pure and the memo lives in
+        the parent, and bit-identical because the retried chunks recompute
+        the same floats.  Only a retry that breaks the pool *again* raises
+        :class:`~repro.errors.WorkerPoolError`.
         """
         if not components:
             return []
         snapshot = self.snapshot_of(space)
-        executor = self._ensure_executor()
         chunks = chunk_components(components, self.workers)
-        try:
-            futures = [
-                executor.submit(
-                    _compute_chunk, snapshot, config, chunk, max_calls, time_limit
-                )
-                for chunk in chunks
-            ]
-            values: list[tuple[float, float]] = []
-            error: BaseException | None = None
-            for future in futures:
-                try:
-                    values.extend(future.result())
-                except BrokenExecutor as broken:
-                    raise WorkerPoolError(
-                        f"process pool broke mid-computation: {broken}"
-                    ) from broken
-                except Exception as exc:  # noqa: BLE001 - re-raised in order below
-                    if error is None:
-                        error = exc
-            if error is not None:
-                raise error
-        except WorkerPoolError:
-            self._discard_executor()
-            raise
-        except BrokenExecutor as broken:  # raised by submit on a dead pool
-            self._discard_executor()
-            raise WorkerPoolError(f"process pool is broken: {broken}") from broken
+        fault = _faults.take("procpool.worker") if _faults.INJECTOR.armed else None
+        outcomes, broken = self._run_chunks(
+            snapshot, config, chunks, max_calls, time_limit, fault
+        )
+        lost = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if lost:
+            # The retry is deliberately single-shot: a pool that breaks twice
+            # in one computation points at a systematic killer (OOM, a
+            # poisonous input) that blind persistence would only amplify.
+            self.chunk_retries += len(lost)
+            retried, broken_again = self._run_chunks(
+                snapshot,
+                config,
+                [chunks[index] for index in lost],
+                max_calls,
+                time_limit,
+                None,
+            )
+            for index, outcome in zip(lost, retried):
+                outcomes[index] = outcome
+            if any(outcome is None for outcome in outcomes):
+                raise WorkerPoolError(
+                    f"process pool broke again while retrying {len(lost)} lost "
+                    f"chunk(s): {broken_again or broken}"
+                ) from (broken_again or broken)
+        error = next(
+            (outcome for outcome in outcomes if isinstance(outcome, BaseException)),
+            None,
+        )
+        if error is not None:
+            raise error
         self.tasks_dispatched += len(chunks)
         self.components_dispatched += len(components)
-        return values
+        return [entry for outcome in outcomes for entry in outcome]
+
+    def _run_chunks(
+        self,
+        snapshot: SpaceSnapshot,
+        config: "ExactConfig",
+        chunks: "list[list[list[PackedDescriptor]]]",
+        max_calls: int | None,
+        time_limit: float | None,
+        fault: "_faults.Fault | None",
+    ) -> tuple[list, BaseException | None]:
+        """Dispatch chunks on the current pool; one outcome slot per chunk.
+
+        Each slot is the chunk's ``[(value, seconds), ...]`` list, the
+        worker-raised exception, or ``None`` when the pool broke before the
+        chunk's result arrived (the caller decides whether to retry those).
+        A break discards the executor (identity-checked, so concurrent
+        computations on the same dead pool discard it exactly once) and is
+        returned for exception chaining.  ``fault`` rides with the first
+        chunk only — chaos tests kill exactly one worker per armed charge.
+        """
+        executor = self._ensure_executor()
+        futures: list = []
+        broken: BaseException | None = None
+        for index, chunk in enumerate(chunks):
+            try:
+                futures.append(
+                    executor.submit(
+                        _compute_chunk,
+                        snapshot,
+                        config,
+                        chunk,
+                        max_calls,
+                        time_limit,
+                        fault if index == 0 else None,
+                    )
+                )
+            except BrokenExecutor as error:
+                broken = broken or error
+                futures.append(None)
+        outcomes: list = []
+        for future in futures:
+            if future is None:
+                outcomes.append(None)
+                continue
+            try:
+                outcomes.append(future.result())
+            except BrokenExecutor as error:
+                broken = broken or error
+                outcomes.append(None)
+            except Exception as error:  # noqa: BLE001 - surfaced by the caller
+                outcomes.append(error)
+        if broken is not None:
+            self._discard_executor(executor)
+        return outcomes, broken
 
     def __repr__(self) -> str:
         state = "idle" if self._executor is None else "running"

@@ -85,6 +85,11 @@ HYBRID_BUDGET_FLOOR = 2_000
 #: variable unit of the queried ws-set.
 HYBRID_CALLS_PER_UNIT = 64
 
+#: Fraction of a request's remaining deadline granted to the exact leg when
+#: ``deadline_ms`` is set; the rest is headroom for the Karp-Luby fallback,
+#: so a degraded request still answers *inside* the deadline.
+DEADLINE_EXACT_FRACTION = 0.5
+
 
 def adaptive_hybrid_budget(
     descriptor_count: int, variable_count: int, scale: float = 1.0
@@ -120,6 +125,15 @@ class ConfidenceRequest:
     exact-leg budget of ``hybrid`` when no explicit budget is given (see
     :func:`adaptive_hybrid_budget`).  Unset fields inherit the session
     defaults.
+
+    ``deadline_ms`` is the request's answer-by budget: for ``exact`` and
+    ``hybrid`` requests the exact leg gets
+    :data:`DEADLINE_EXACT_FRACTION` of it as a wall-clock limit and a blown
+    budget *degrades* to a Karp-Luby (ε, δ) answer instead of raising — the
+    caller asked for an answer by a time, not for a particular algorithm.
+    The sampling methods run unchanged (they are anytime-cheap already).
+    The confidence server folds each request frame's remaining deadline into
+    this field after admission.
     """
 
     target: "WSSet | URelation | str"
@@ -130,11 +144,19 @@ class ConfidenceRequest:
     max_calls: int | None = None
     time_limit: float | None = None
     hybrid_scale: float | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             known = ", ".join(METHODS)
             raise ValueError(f"unknown method {self.method!r}; known methods: {known}")
+        if self.deadline_ms is not None and (
+            not isinstance(self.deadline_ms, (int, float)) or self.deadline_ms <= 0
+        ):
+            raise ValueError(
+                f"deadline_ms must be a positive number of milliseconds, "
+                f"got {self.deadline_ms!r}"
+            )
 
     def to_payload(self) -> dict:
         """A JSON-serialisable form of this request (the wire representation).
@@ -148,7 +170,7 @@ class ConfidenceRequest:
             "method": self.method,
         }
         for name in ("epsilon", "delta", "seed", "max_calls", "time_limit",
-                     "hybrid_scale"):
+                     "hybrid_scale", "deadline_ms"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -167,7 +189,7 @@ class ConfidenceRequest:
         if not isinstance(payload, dict):
             raise ValueError(f"confidence request must be an object, got {payload!r}")
         option_names = ("epsilon", "delta", "seed", "max_calls", "time_limit",
-                        "hybrid_scale")
+                        "hybrid_scale", "deadline_ms")
         unknown = set(payload) - {"target", "method", *option_names}
         if unknown:
             raise ValueError(f"unknown confidence request fields {sorted(unknown)}")
@@ -539,7 +561,9 @@ class Session:
         self, ws_set: WSSet, request: ConfidenceRequest
     ) -> ConfidenceResult:
         started = time.perf_counter()
-        if request.method == "exact":
+        if request.deadline_ms is not None and request.method in ("exact", "hybrid"):
+            result = self._deadline_bounded(ws_set, request)
+        elif request.method == "exact":
             result = self._exact(ws_set, request)
         elif request.method == "karp_luby":
             result = self._karp_luby(ws_set, request)
@@ -632,6 +656,51 @@ class Session:
             fallback = self._karp_luby(ws_set, request)
             fallback.fell_back = True
             fallback.fallback_reason = str(exceeded)
+            return fallback
+
+    def _deadline_bounded(
+        self, ws_set: WSSet, request: ConfidenceRequest
+    ) -> ConfidenceResult:
+        """``exact`` / ``hybrid`` under a deadline: bounded exact, then degrade.
+
+        The exact leg runs under a wall-clock limit of
+        :data:`DEADLINE_EXACT_FRACTION` × the deadline (tightened further by
+        an explicit ``time_limit``), so when it blows the budget there is
+        still deadline left for the Karp-Luby fallback to produce an (ε, δ)
+        answer in time.  A ``hybrid`` request additionally keeps its adaptive
+        call budget, so whichever bound trips first triggers the same
+        fallback.
+        """
+        exact_limit = (request.deadline_ms / 1000.0) * DEADLINE_EXACT_FRACTION
+        if request.time_limit is not None:
+            exact_limit = min(exact_limit, request.time_limit)
+        max_calls = request.max_calls
+        if request.method == "hybrid":
+            if max_calls is None:
+                max_calls = self.hybrid_max_calls
+            if max_calls is None:
+                scale = (
+                    request.hybrid_scale
+                    if request.hybrid_scale is not None
+                    else self.hybrid_scale
+                )
+                max_calls = adaptive_hybrid_budget(
+                    len(ws_set), len(ws_set.variables()), scale
+                )
+        try:
+            exact_request = replace(
+                request, max_calls=max_calls, time_limit=exact_limit
+            )
+            result = self._exact(ws_set, exact_request)
+            result.requested_method = request.method
+            return result
+        except BudgetExceededError as exceeded:
+            fallback = self._karp_luby(ws_set, request)
+            fallback.fell_back = True
+            fallback.fallback_reason = (
+                f"deadline of {request.deadline_ms:g} ms bounded the exact "
+                f"computation ({exceeded})"
+            )
             return fallback
 
     # ------------------------------------------------------------------

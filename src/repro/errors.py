@@ -122,13 +122,45 @@ class WorkerPoolError(ReproError, RuntimeError):
     """The worker pool backing a parallel engine failed outside Python.
 
     Raised when a process worker dies abruptly (killed, segfault, failed
-    spawn) so the executing pool breaks mid-computation.  The engine handle
-    discards the broken pool and rebuilds it lazily, so the *next*
-    computation runs on a fresh pool; only the in-flight computation fails.
-    Ordinary Python exceptions raised inside a worker (budget overruns,
-    unknown variables) do not break the pool and re-raise as their own
-    types.
+    spawn) so the executing pool breaks mid-computation.  The backend
+    discards the broken pool, rebuilds it, and retries the lost chunks of
+    the in-flight computation *once* (tasks are pure and the memo is
+    parent-held, so the retry is safe); this error surfaces only when the
+    retry breaks the pool again.  Ordinary Python exceptions raised inside
+    a worker (budget overruns, unknown variables) do not break the pool and
+    re-raise as their own types.
     """
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """A request's deadline expired before an answer could be produced.
+
+    Raised when a ``deadline_ms``-carrying request is already (or becomes)
+    hopeless: the deadline elapsed while the request waited for admission,
+    or it arrived expired.  Distinct from :class:`BudgetExceededError` —
+    a blown *budget* inside a ``hybrid`` request degrades to Karp-Luby,
+    whereas a blown *deadline* means no answer of any kind was possible in
+    time.  Not retryable: resending the same request with the same deadline
+    will fail the same way.
+    """
+
+    def __init__(self, message: str, *, deadline_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The server shed this request: its admission queue is full (or draining).
+
+    Carries ``retry_after_ms`` — the server's estimate of when capacity will
+    free up — so a :class:`repro.server.client.RetryPolicy` can back off for
+    a sensible interval instead of guessing.  Retryable by construction: the
+    request was never admitted, so no state changed.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: int | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class ServerError(ReproError):
@@ -145,6 +177,21 @@ class ProtocolError(ServerError, ValueError):
     def __init__(self, message: str, *, code: str = "malformed-frame") -> None:
         super().__init__(message)
         self.code = code
+
+
+class RequestTimeoutError(ServerError):
+    """A client-side per-request timeout expired while awaiting a response.
+
+    Client-side only (never travels on the wire): the server may still be
+    computing the answer, but this client stopped waiting.  The connection's
+    stream is desynchronised after a timeout — the abandoned response could
+    arrive at any point — so the client closes the socket; a configured
+    reconnect (see :func:`repro.server.client.connect`) opens a fresh one.
+    """
+
+    def __init__(self, message: str, *, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
 
 
 class RemoteError(ServerError):

@@ -12,10 +12,18 @@ The client library (:mod:`repro.server.client`) mirrors the local
 :class:`~repro.db.session.Session` API over a socket: code written against a
 session runs unchanged against :func:`connect`.  ``python -m repro.server``
 starts a standalone server (see :mod:`repro.server.__main__` for the flags).
+
+Serving is fault-tolerant end to end (protocol v3): request deadlines with
+graceful degradation to approximate answers, bounded admission with load
+shedding (:class:`~repro.errors.OverloadedError` + ``retry_after_ms``),
+drain-phase shutdown, and client-side :class:`RetryPolicy` / request
+timeouts restricted to provably idempotent operations
+(:data:`IDEMPOTENT_OPS`).
 """
 
 from repro.server.client import (
     AsyncServerSession,
+    RetryPolicy,
     ServerSession,
     connect,
     connect_async,
@@ -23,18 +31,22 @@ from repro.server.client import (
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     DEFAULT_PORT,
+    IDEMPOTENT_OPS,
     PROTOCOL_VERSION,
     error_code,
     exception_for,
 )
-from repro.server.server import ConfidenceServer
+from repro.server.server import DEFAULT_GRACE, ConfidenceServer
 
 __all__ = [
     "AsyncServerSession",
     "ConfidenceServer",
+    "DEFAULT_GRACE",
     "DEFAULT_MAX_FRAME_BYTES",
     "DEFAULT_PORT",
+    "IDEMPOTENT_OPS",
     "PROTOCOL_VERSION",
+    "RetryPolicy",
     "ServerSession",
     "connect",
     "connect_async",

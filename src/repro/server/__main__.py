@@ -13,8 +13,9 @@ Examples::
 The server prints ``listening on HOST:PORT`` once it is ready (after the
 ``--load`` script ran), which is what the benchmark harness and the CI smoke
 job parse to discover an ephemeral port.  ``SIGINT``/``SIGTERM`` trigger a
-graceful shutdown: the listener closes, open connections are torn down, the
-session pool's worker threads are joined, and ``server stopped`` is printed.
+graceful shutdown: the listener closes, in-flight requests get ``--grace``
+seconds to answer (new work is shed as ``overloaded`` meanwhile), remaining
+connections are torn down, and ``server stopped`` is printed.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from pathlib import Path
 
 from repro.db.database import ProbabilisticDatabase
 from repro.server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
-from repro.server.server import ConfidenceServer
+from repro.server.server import DEFAULT_GRACE, ConfidenceServer
 
 
 def build_database(spec: str) -> ProbabilisticDatabase:
@@ -134,6 +135,22 @@ def parse_arguments(argv: list[str] | None = None) -> argparse.Namespace:
         "--max-frame-bytes", type=int, default=DEFAULT_MAX_FRAME_BYTES,
         help="per-frame payload bound (default 4 MiB)",
     )
+    parser.add_argument(
+        "--grace", type=float, default=DEFAULT_GRACE, metavar="SECONDS",
+        help="shutdown drain: how long in-flight requests may finish after "
+             f"SIGTERM/SIGINT before connections are force-closed "
+             f"(default {DEFAULT_GRACE:g})",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission bound on concurrently computing requests "
+             "(default: the pool size)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission queue depth before requests are shed as 'overloaded' "
+             "(default: 4 x the pool size)",
+    )
     return parser.parse_args(argv)
 
 
@@ -148,6 +165,8 @@ async def _serve(arguments: argparse.Namespace) -> None:
         workers=arguments.workers,
         executor=arguments.executor,
         max_frame_bytes=arguments.max_frame_bytes,
+        max_inflight=arguments.max_inflight,
+        max_queue=arguments.max_queue,
     )
     # Bootstrap strictly before binding: a client connecting to a well-known
     # port must never observe the pre-``--load`` database.
@@ -166,7 +185,7 @@ async def _serve(arguments: argparse.Namespace) -> None:
     try:
         await stop.wait()
     finally:
-        await server.stop()
+        await server.stop(grace=arguments.grace)
     print("server stopped", flush=True)
 
 

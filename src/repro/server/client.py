@@ -25,20 +25,55 @@ session pool is for) — or batch them: ``confidence_many`` ships all its
 targets in one frame and the *server* fans them out across its pool, which
 both removes the per-request round trip and, with a process-executor server,
 runs the batch across cores.
+
+The blocking client is fault-tolerant (protocol v3):
+
+* a :class:`RetryPolicy` retries failed *idempotent* operations with
+  exponential backoff and jitter, reconnecting transparently when the
+  connection dropped.  Only operations in
+  :data:`repro.server.protocol.IDEMPOTENT_OPS` ever retry — ``execute`` /
+  ``execute_script`` can condition the database, and resending one after an
+  ambiguous failure could apply it twice;
+* ``request_timeout`` bounds each response wait, raising
+  :class:`~repro.errors.RequestTimeoutError` instead of hanging forever on a
+  wedged server (the connection is closed — the stream is desynchronised —
+  and reopened on the next call);
+* ``deadline_ms`` (a :class:`~repro.db.session.ConfidenceRequest` option) is
+  lifted onto the wire frame, where the server bounds queueing and degrades
+  an overrunning exact computation to a Karp-Luby answer;
+* :meth:`ServerSession.health` reads the server's admission pressure without
+  touching the database or its locks.
+
+:class:`AsyncServerSession` supports ``request_timeout``, deadlines and
+``health`` but deliberately not automatic retry: an asyncio caller composes
+its own retry loops (and cancellation) more naturally than a built-in policy
+could.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.engine import EngineStats
 from repro.db.confidence import ConfidenceRow
 from repro.db.session import ConfidenceRequest, ConfidenceResult
-from repro.errors import ProtocolError
+from repro.errors import (
+    OverloadedError,
+    ProtocolError,
+    RequestTimeoutError,
+    WorkerPoolError,
+)
 from repro.server import protocol
-from repro.server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_PORT,
+    IDEMPOTENT_OPS,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.wsset import WSSet
@@ -46,34 +81,120 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sql.executor import QueryResult
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for retrying failed idempotent operations.
+
+    The delay before retry *n* (1-based) is ``base_delay × multiplier^(n-1)``
+    capped at ``max_delay``, then raised to any server-provided
+    ``retry_after_ms`` hint (an overloaded server knows its own backlog
+    better than a generic schedule), then multiplied by ``1 + jitter × U``
+    with ``U`` uniform in ``[0, 1)`` — jitter decorrelates a thundering herd
+    of clients all shed at the same moment.  ``seed`` makes the jitter
+    deterministic (tests); by default each session draws from its own RNG.
+
+    ``attempts`` counts total tries including the first, so ``attempts=1``
+    disables retrying while keeping the policy object.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay_for(
+        self,
+        retry_number: int,
+        *,
+        retry_after_ms: int | None = None,
+        rng: "random.Random | None" = None,
+    ) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry_number - 1)
+        )
+        if retry_after_ms is not None:
+            delay = min(self.max_delay, max(delay, retry_after_ms / 1000.0))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (rng or random).random()
+        return delay
+
+
+def _failure_mode(error: BaseException) -> tuple[bool, bool]:
+    """Classify a call failure as ``(retryable, connection_is_gone)``.
+
+    Retryable failures are those where the server provably did not — or can
+    harmlessly again — apply the request: shed before admission
+    (``overloaded``), a worker pool that died mid-computation (pure tasks),
+    a dropped/desynchronised connection, a client-side response timeout.
+    A ``deadline-exceeded`` error is *not* retryable — the same request with
+    the same deadline fails the same way — and neither is any typed
+    computation error (they would fail identically on a healthy server).
+    """
+    if isinstance(error, (OverloadedError, WorkerPoolError)):
+        return True, False  # clean error frame: the stream is still in sync
+    if isinstance(error, RequestTimeoutError):
+        return True, True  # the abandoned response desynchronised the stream
+    if isinstance(error, ProtocolError):
+        return error.code == "connection-closed", True
+    if isinstance(error, (ConnectionError, OSError)):
+        return True, True
+    return False, False
+
+
 def connect(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     *,
     timeout: float | None = None,
+    request_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
 ) -> "ServerSession":
     """Open a blocking :class:`ServerSession` to a running confidence server.
 
-    ``timeout`` bounds connection *establishment* only; once connected the
-    socket blocks indefinitely (exact confidence computations can run far
-    longer than any sensible connect timeout, and a mid-request timeout
-    would desynchronise the stream).
+    ``timeout`` bounds connection *establishment* (and re-establishment when
+    retrying); ``request_timeout`` bounds each response wait — without it the
+    socket blocks indefinitely, which is deliberate: exact confidence
+    computations can run far longer than any generic default, and a
+    mid-request timeout abandons the response, so the connection must be
+    reopened.  ``retry`` enables automatic retry of idempotent operations
+    (see :class:`RetryPolicy`).
     """
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(None)
-    return ServerSession(sock, max_frame_bytes=max_frame_bytes)
+    return ServerSession(
+        sock,
+        max_frame_bytes=max_frame_bytes,
+        address=(host, port),
+        connect_timeout=timeout,
+        request_timeout=request_timeout,
+        retry=retry,
+    )
 
 
 async def connect_async(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     *,
+    request_timeout: float | None = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
 ) -> "AsyncServerSession":
     """Open an :class:`AsyncServerSession` to a running confidence server."""
     reader, writer = await asyncio.open_connection(host, port)
-    return AsyncServerSession(reader, writer, max_frame_bytes=max_frame_bytes)
+    return AsyncServerSession(
+        reader, writer,
+        max_frame_bytes=max_frame_bytes,
+        request_timeout=request_timeout,
+    )
 
 
 class _SessionCalls:
@@ -146,33 +267,115 @@ class ServerSession(_SessionCalls):
     """A blocking client connection mirroring the local ``Session`` API."""
 
     def __init__(
-        self, sock: socket.socket, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+        self,
+        sock: socket.socket,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        address: tuple[str, int] | None = None,
+        connect_timeout: float | None = None,
+        request_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        self._sock = sock
+        self._sock: socket.socket | None = sock
         self._max_frame_bytes = max_frame_bytes
+        self._address = address
+        self._connect_timeout = connect_timeout
+        self._request_timeout = request_timeout
+        self._retry = retry
+        self._rng = random.Random(retry.seed) if retry is not None else None
         self._id = 0
+        #: Retries performed over this session's lifetime (observability).
+        self.retries = 0
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _call(self, op: str, args: dict | None = None) -> object:
+    def _call(
+        self, op: str, args: dict | None = None, deadline_ms: float | None = None
+    ) -> object:
+        """One request/response round trip, retried per the session policy.
+
+        Only idempotent operations retry (:data:`IDEMPOTENT_OPS`); a failure
+        classified as connection-breaking closes the socket, and the next
+        attempt reconnects to the remembered address.  Non-retryable errors
+        — and retryable ones once the policy's attempts are spent — raise
+        to the caller unchanged.
+        """
+        policy = self._retry if op in IDEMPOTENT_OPS else None
+        attempts = policy.attempts if policy is not None else 1
+        failures = 0
+        while True:
+            try:
+                return self._call_once(op, args, deadline_ms)
+            except Exception as error:  # noqa: BLE001 - reclassified below
+                retryable, broken = _failure_mode(error)
+                if broken:
+                    self.close()
+                failures += 1
+                if not retryable or failures >= attempts:
+                    raise
+                self.retries += 1
+                time.sleep(
+                    policy.delay_for(
+                        failures,
+                        retry_after_ms=getattr(error, "retry_after_ms", None),
+                        rng=self._rng,
+                    )
+                )
+
+    def _call_once(
+        self, op: str, args: dict | None, deadline_ms: float | None
+    ) -> object:
         sent_id = self._next_id()
+        sock = self._ensure_sock()
         protocol.send_frame(
-            self._sock,
-            protocol.request_frame(op, args, id=sent_id),
+            sock,
+            protocol.request_frame(op, args, id=sent_id, deadline_ms=deadline_ms),
             max_frame_bytes=self._max_frame_bytes,
         )
-        frame = protocol.recv_frame(self._sock, max_frame_bytes=self._max_frame_bytes)
+        if self._request_timeout is not None:
+            sock.settimeout(self._request_timeout)
+        try:
+            frame = protocol.recv_frame(sock, max_frame_bytes=self._max_frame_bytes)
+        except TimeoutError:
+            # The response may still arrive later; this stream can no longer
+            # tell it apart from the next response, so the connection dies.
+            self.close()
+            raise RequestTimeoutError(
+                f"no response to {op!r} within {self._request_timeout:g}s",
+                timeout=self._request_timeout,
+            ) from None
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(None)
         if frame is None:
             raise ProtocolError("server closed the connection", code="connection-closed")
         return self._result_of(frame, sent_id)
 
+    def _ensure_sock(self) -> socket.socket:
+        """The live socket, reconnecting to the remembered address if closed."""
+        if self._sock is None:
+            if self._address is None:
+                raise ProtocolError(
+                    "connection is closed and this session has no address "
+                    "to reconnect to (open it via connect())",
+                    code="connection-closed",
+                )
+            sock = socket.create_connection(
+                self._address, timeout=self._connect_timeout
+            )
+            sock.settimeout(None)
+            self._sock = sock
+        return self._sock
+
     def close(self) -> None:
-        """Close the connection (idempotent)."""
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - close never matters twice
-            pass
+        """Close the connection (idempotent; a retrying session may reopen it)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters twice
+                pass
 
     def __enter__(self) -> "ServerSession":
         return self
@@ -187,16 +390,33 @@ class ServerSession(_SessionCalls):
         """Liveness check; returns the server's ``{"pong": ..., "protocol": ...}``."""
         return self._call("ping")
 
+    def health(self) -> dict:
+        """The server's health payload: status plus admission pressure.
+
+        Unlike :meth:`server_stats` this takes no server-side locks, so it
+        answers even while conditioning or a saturated queue stalls
+        everything else.  Requires a protocol-version-3 server.
+        """
+        return self._call("health")
+
     def query(self, request: ConfidenceRequest) -> ConfidenceResult:
+        # The request's deadline also rides at frame level, where the server
+        # bounds the admission wait with it (not just the computation).
         return ConfidenceResult.from_payload(
-            self._call("confidence", request.to_payload())
+            self._call(
+                "confidence", request.to_payload(), deadline_ms=request.deadline_ms
+            )
         )
 
     def confidence(
         self, target: "WSSet | URelation | str", method: str = "exact", **options
     ) -> ConfidenceResult:
         return ConfidenceResult.from_payload(
-            self._call("confidence", self._confidence_args(target, method, options))
+            self._call(
+                "confidence",
+                self._confidence_args(target, method, options),
+                deadline_ms=options.get("deadline_ms"),
+            )
         )
 
     def confidence_many(
@@ -219,7 +439,11 @@ class ServerSession(_SessionCalls):
         if not targets:
             return []
         return self._many_results(
-            self._call("confidence_many", self._many_args(targets, method, options))
+            self._call(
+                "confidence_many",
+                self._many_args(targets, method, options),
+                deadline_ms=options.get("deadline_ms"),
+            )
         )
 
     def confidence_batch(
@@ -271,6 +495,8 @@ class ServerSession(_SessionCalls):
 
     def __repr__(self) -> str:
         try:
+            if self._sock is None:
+                raise OSError
             peer = "%s:%s" % self._sock.getpeername()[:2]
         except OSError:
             peer = "closed"
@@ -291,24 +517,45 @@ class AsyncServerSession(_SessionCalls):
         writer: asyncio.StreamWriter,
         *,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        request_timeout: float | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame_bytes = max_frame_bytes
+        self._request_timeout = request_timeout
         self._id = 0
         self._lock = asyncio.Lock()
 
-    async def _call(self, op: str, args: dict | None = None) -> object:
+    async def _call(
+        self, op: str, args: dict | None = None, deadline_ms: float | None = None
+    ) -> object:
         async with self._lock:
             sent_id = self._next_id()
             await protocol.write_frame(
                 self._writer,
-                protocol.request_frame(op, args, id=sent_id),
+                protocol.request_frame(op, args, id=sent_id, deadline_ms=deadline_ms),
                 max_frame_bytes=self._max_frame_bytes,
             )
-            frame = await protocol.read_frame(
-                self._reader, max_frame_bytes=self._max_frame_bytes
-            )
+            try:
+                if self._request_timeout is None:
+                    frame = await protocol.read_frame(
+                        self._reader, max_frame_bytes=self._max_frame_bytes
+                    )
+                else:
+                    frame = await asyncio.wait_for(
+                        protocol.read_frame(
+                            self._reader, max_frame_bytes=self._max_frame_bytes
+                        ),
+                        self._request_timeout,
+                    )
+            except TimeoutError:
+                # The stream is desynchronised (the abandoned response could
+                # arrive any time); close so no later call misreads it.
+                await self.close()
+                raise RequestTimeoutError(
+                    f"no response to {op!r} within {self._request_timeout:g}s",
+                    timeout=self._request_timeout,
+                ) from None
         if frame is None:
             raise ProtocolError("server closed the connection", code="connection-closed")
         return self._result_of(frame, sent_id)
@@ -329,16 +576,26 @@ class AsyncServerSession(_SessionCalls):
     async def ping(self) -> dict:
         return await self._call("ping")
 
+    async def health(self) -> dict:
+        """The server's lock-free health payload (see the blocking twin)."""
+        return await self._call("health")
+
     async def query(self, request: ConfidenceRequest) -> ConfidenceResult:
         return ConfidenceResult.from_payload(
-            await self._call("confidence", request.to_payload())
+            await self._call(
+                "confidence", request.to_payload(), deadline_ms=request.deadline_ms
+            )
         )
 
     async def confidence(
         self, target: "WSSet | URelation | str", method: str = "exact", **options
     ) -> ConfidenceResult:
         return ConfidenceResult.from_payload(
-            await self._call("confidence", self._confidence_args(target, method, options))
+            await self._call(
+                "confidence",
+                self._confidence_args(target, method, options),
+                deadline_ms=options.get("deadline_ms"),
+            )
         )
 
     async def confidence_many(
@@ -353,7 +610,9 @@ class AsyncServerSession(_SessionCalls):
             return []
         return self._many_results(
             await self._call(
-                "confidence_many", self._many_args(targets, method, options)
+                "confidence_many",
+                self._many_args(targets, method, options),
+                deadline_ms=options.get("deadline_ms"),
             )
         )
 

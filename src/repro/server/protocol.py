@@ -16,6 +16,10 @@ Operations (see ``docs/protocol.md`` for the full schemas):
 
 ``ping``
     Liveness check; returns the server's protocol version.
+``health`` (since version 3)
+    Serving health: admission-queue depth, in-flight count, shed totals and
+    a coarse ``status`` (``ok`` / ``overloaded`` / ``draining``).  Never
+    queued behind computations, so it answers even under full load.
 ``stats``
     Engine statistics (:meth:`repro.core.engine.EngineStats.as_dict`) plus
     server-level counters.
@@ -51,6 +55,7 @@ flavour: :func:`read_frame` / :func:`write_frame` for ``asyncio`` streams and
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import socket
 import struct
@@ -59,9 +64,11 @@ from typing import TYPE_CHECKING
 from repro.errors import (
     BudgetExceededError,
     ConditioningError,
+    DeadlineExceededError,
     DescriptorError,
     InconsistentDescriptorError,
     InvalidDistributionError,
+    OverloadedError,
     ProtocolError,
     QueryError,
     RemoteError,
@@ -76,18 +83,23 @@ from repro.errors import (
     WorldTableError,
     ZeroProbabilityConditionError,
 )
+from repro.testing import faults as _faults
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sql.executor import QueryResult
 
 #: Version the clients of this build send on every frame.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Versions the server answers.  Version 1 (PR 4) lacks ``confidence_many``
 #: but is otherwise identical, so v1 clients keep working unchanged; a v1
 #: frame asking for a v2-only operation gets the same ``unknown-op`` error an
-#: actual v1 server would send.
-SUPPORTED_VERSIONS = (1, 2)
+#: actual v1 server would send.  Version 3 (this build) adds the ``health``
+#: operation, the per-request ``deadline_ms`` frame field, and the
+#: ``deadline-exceeded`` / ``overloaded`` error codes; v1/v2 frames never see
+#: any of them (``deadline_ms`` on an old frame is ignored, and old clients
+#: degrade unknown codes to :class:`~repro.errors.RemoteError`).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Default TCP port of ``python -m repro.server`` (the paper's year).
 DEFAULT_PORT = 2008
@@ -101,6 +113,7 @@ HEADER = struct.Struct(">I")
 #: Operations the server understands.
 OPS = (
     "ping",
+    "health",
     "stats",
     "confidence",
     "confidence_many",
@@ -110,11 +123,27 @@ OPS = (
 )
 
 #: Operations that exist only from the given protocol version on.
-OPS_SINCE_VERSION = {"confidence_many": 2}
+OPS_SINCE_VERSION = {"confidence_many": 2, "health": 3}
+
+#: Operations a client may safely retry after a transport failure.
+#:
+#: Retry safety is about *server state*, not determinism: the read-only
+#: operations (liveness, statistics, every confidence flavour) leave the
+#: database untouched, so re-running one after a dropped connection — even
+#: when the first attempt may have completed server-side — changes nothing
+#: but the memo cache.  ``execute`` / ``execute_script`` are excluded
+#: because SQL may contain ``assert``, which *conditions the database*:
+#: a retry after an ambiguous failure could condition twice.  Clients that
+#: know a statement is a plain select can still retry it themselves.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "health", "stats", "confidence", "confidence_many", "confidence_batch"}
+)
 
 #: Exception class -> wire error code, most specific classes first (the first
 #: ``isinstance`` match wins, so subclasses must precede their bases).
 ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
+    (DeadlineExceededError, "deadline-exceeded"),
+    (OverloadedError, "overloaded"),
     (BudgetExceededError, "budget-exceeded"),
     (SQLSyntaxError, "sql-syntax"),
     (UnknownRelationError, "unknown-relation"),
@@ -178,6 +207,14 @@ def error_detail(exception: BaseException) -> dict:
         if exception.nodes is not None:
             detail["nodes"] = exception.nodes
         return detail
+    if isinstance(exception, DeadlineExceededError):
+        if exception.deadline_ms is not None:
+            return {"deadline_ms": exception.deadline_ms}
+        return {}
+    if isinstance(exception, OverloadedError):
+        if exception.retry_after_ms is not None:
+            return {"retry_after_ms": exception.retry_after_ms}
+        return {}
     return {}
 
 
@@ -208,6 +245,10 @@ def exception_for(code: str, message: str, detail: dict | None = None) -> ReproE
         return BudgetExceededError(
             message, elapsed=detail.get("elapsed"), nodes=detail.get("nodes")
         )
+    if code == "deadline-exceeded":
+        return DeadlineExceededError(message, deadline_ms=detail.get("deadline_ms"))
+    if code == "overloaded":
+        return OverloadedError(message, retry_after_ms=detail.get("retry_after_ms"))
     plain: dict[str, type[ReproError]] = {
         "sql-syntax": SQLSyntaxError,
         "schema": SchemaError,
@@ -232,9 +273,23 @@ def exception_for(code: str, message: str, detail: dict | None = None) -> ReproE
 # ----------------------------------------------------------------------
 # Frame construction
 # ----------------------------------------------------------------------
-def request_frame(op: str, args: dict | None = None, *, id: int) -> dict:
-    """A request frame for ``op`` (client side)."""
-    return {"v": PROTOCOL_VERSION, "id": id, "op": op, "args": args or {}}
+def request_frame(
+    op: str,
+    args: dict | None = None,
+    *,
+    id: int,
+    deadline_ms: float | None = None,
+) -> dict:
+    """A request frame for ``op`` (client side).
+
+    ``deadline_ms`` (protocol version 3) asks the server to answer within
+    that many milliseconds of receiving the frame — covering queueing time,
+    not just computation — or fail fast with ``deadline-exceeded``.
+    """
+    frame: dict = {"v": PROTOCOL_VERSION, "id": id, "op": op, "args": args or {}}
+    if deadline_ms is not None:
+        frame["deadline_ms"] = deadline_ms
+    return frame
 
 
 def ok_frame(id: object, result: object, *, version: int = PROTOCOL_VERSION) -> dict:
@@ -328,9 +383,37 @@ def _drain_interrupted_error() -> ProtocolError:
 # ----------------------------------------------------------------------
 async def write_frame(writer: asyncio.StreamWriter, payload: dict,
                       *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
-    """Encode and send one frame, draining the writer."""
-    writer.write(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+    """Encode and send one frame, draining the writer.
+
+    Fault point ``frame.send`` (chaos testing only — a no-op unless armed):
+    ``drop`` severs the connection before writing, ``truncate`` writes half
+    the frame and then severs it, ``delay`` sleeps before writing.
+    """
+    data = encode_frame(payload, max_frame_bytes=max_frame_bytes)
+    if _faults.INJECTOR.armed:
+        fault = _faults.take("frame.send")
+        if fault is not None:
+            if fault.seconds:
+                await asyncio.sleep(fault.seconds)
+            if fault.kind in ("drop", "truncate"):
+                if fault.kind == "truncate":
+                    writer.write(fault.truncate(data))
+                    with _suppressed_connection_errors():
+                        await writer.drain()
+                writer.close()
+                raise ConnectionResetError(
+                    f"fault injection: connection {fault.kind} mid-frame"
+                )
+    writer.write(data)
     await writer.drain()
+
+
+@contextlib.contextmanager
+def _suppressed_connection_errors():
+    try:
+        yield
+    except (ConnectionError, OSError):
+        pass
 
 
 async def read_frame(reader: asyncio.StreamReader,
@@ -369,8 +452,26 @@ async def read_frame(reader: asyncio.StreamReader,
 # ----------------------------------------------------------------------
 def send_frame(sock: socket.socket, payload: dict,
                *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
-    """Encode and send one frame on a blocking socket."""
-    sock.sendall(encode_frame(payload, max_frame_bytes=max_frame_bytes))
+    """Encode and send one frame on a blocking socket.
+
+    Shares the ``frame.send`` fault point of :func:`write_frame` (chaos
+    testing only; a no-op unless armed).
+    """
+    data = encode_frame(payload, max_frame_bytes=max_frame_bytes)
+    if _faults.INJECTOR.armed:
+        fault = _faults.take("frame.send")
+        if fault is not None:
+            fault.sleep()
+            if fault.kind in ("drop", "truncate"):
+                if fault.kind == "truncate":
+                    with _suppressed_connection_errors():
+                        sock.sendall(fault.truncate(data))
+                with _suppressed_connection_errors():
+                    sock.close()
+                raise ConnectionResetError(
+                    f"fault injection: connection {fault.kind} mid-frame"
+                )
+    sock.sendall(data)
 
 
 def recv_frame(sock: socket.socket,

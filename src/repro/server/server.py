@@ -16,6 +16,25 @@ frames on the same connection instead of dropping it, and any
 structured error frame with a stable code.  Only transport-level failures
 (EOF, truncated frames) close a connection — and never the server.
 
+Serving is fault-tolerant (protocol v3):
+
+* **admission control** — computation-bearing operations pass a bounded
+  admission queue (:class:`_AdmissionQueue`): at most ``max_inflight``
+  compute concurrently, at most ``max_queue`` wait, and anything beyond that
+  is *shed* with an ``overloaded`` error carrying a ``retry_after_ms``
+  estimate.  ``ping`` / ``health`` / ``stats`` bypass admission, so the
+  server stays observable while saturated;
+* **deadlines** — a request frame's ``deadline_ms`` bounds its whole server
+  residency.  The admission wait is cut short when the deadline would pass
+  in the queue (``deadline-exceeded``), and for ``confidence`` /
+  ``confidence_many`` the *remaining* time is folded into the session
+  request, where an overrunning exact computation degrades to a Karp-Luby
+  (ε, δ) answer instead of erroring (see
+  :meth:`repro.db.session.Session.query`);
+* **graceful drain** — :meth:`stop` stops accepting, lets in-flight requests
+  finish (and answer) for a grace period, sheds newly arriving work as
+  ``overloaded``, and only then force-closes connections.
+
 Typical embedded use::
 
     server = ConfidenceServer(database, port=0)
@@ -34,11 +53,19 @@ import asyncio
 import contextlib
 import logging
 import time
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.db.session import ConfidenceRequest, SessionPool
-from repro.errors import ProtocolError, QueryError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+)
 from repro.server import protocol
+from repro.testing import faults as _faults
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     OPS_SINCE_VERSION,
@@ -57,6 +84,100 @@ logger = logging.getLogger("repro.server")
 
 #: ConfidenceRequest option names accepted in ``confidence_batch`` frames.
 _BATCH_OPTIONS = ("epsilon", "delta", "seed", "max_calls", "time_limit", "hybrid_scale")
+
+#: Operations that pass admission control (they occupy a pool member and
+#: burn CPU).  ``ping`` / ``health`` / ``stats`` bypass it by design: a
+#: saturated or draining server must stay observable.
+_ADMITTED_OPS = frozenset(
+    {"confidence", "confidence_many", "confidence_batch", "execute", "execute_script"}
+)
+
+#: Default drain grace of :meth:`ConfidenceServer.stop`, in seconds.
+DEFAULT_GRACE = 5.0
+
+
+class _AdmissionQueue:
+    """Bounded admission with load shedding and a service-time estimate.
+
+    At most ``max_inflight`` admissions run concurrently; at most
+    ``max_queue`` callers wait for a slot.  A caller beyond both bounds is
+    shed immediately — an :class:`~repro.errors.OverloadedError` carrying
+    ``retry_after_ms``, an EWMA-based estimate of when a slot frees up
+    (mean service time × backlog ÷ parallelism, clamped to [50 ms, 5 s]).
+    Shedding at the door instead of queueing unboundedly keeps latency
+    honest: a client is told *now* to come back later rather than timing
+    out at the end of a hopeless queue.
+    """
+
+    #: EWMA smoothing factor for the per-request service time.
+    _ALPHA = 0.2
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be at least 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._waiting = 0
+        self._ewma_seconds = 0.05  # optimistic prior; converges per request
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def waiting(self) -> int:
+        """Callers currently queued for an admission slot."""
+        return self._waiting
+
+    def retry_after_ms(self) -> int:
+        """When a shed client should plausibly retry, in milliseconds."""
+        backlog = self._waiting + 1
+        estimate = 1000.0 * self._ewma_seconds * backlog / self.max_inflight
+        return int(min(5000.0, max(50.0, estimate)))
+
+    def shed(self, message: str) -> None:
+        """Refuse a request with a typed, retryable ``overloaded`` error."""
+        self.shed_total += 1
+        raise OverloadedError(message, retry_after_ms=self.retry_after_ms())
+
+    @contextlib.asynccontextmanager
+    async def admit(self, timeout: float | None = None):
+        """Hold one admission slot; shed or time out instead of waiting forever.
+
+        ``timeout`` bounds the queue wait (a request's remaining deadline);
+        an expired wait raises :class:`~repro.errors.DeadlineExceededError`.
+        The slot's service time feeds the EWMA either way — even a degraded
+        answer is signal about how busy the server is.
+        """
+        if self._slots.locked() and self._waiting >= self.max_queue:
+            self.shed(
+                f"admission queue is full ({self._waiting} waiting, "
+                f"{self.max_inflight} in flight)"
+            )
+        self._waiting += 1
+        try:
+            if timeout is None:
+                await self._slots.acquire()
+            else:
+                try:
+                    await asyncio.wait_for(self._slots.acquire(), timeout)
+                except TimeoutError:
+                    raise DeadlineExceededError(
+                        f"deadline expired after waiting {timeout:.3f}s for "
+                        f"admission",
+                        deadline_ms=timeout * 1000.0,
+                    ) from None
+        finally:
+            self._waiting -= 1
+        self.admitted_total += 1
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - started
+            self._ewma_seconds += self._ALPHA * (elapsed - self._ewma_seconds)
+            self._slots.release()
 
 
 class _ReadWriteGate:
@@ -123,6 +244,8 @@ class ConfidenceServer:
         epsilon: float = 0.1,
         delta: float = 0.01,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_inflight: int | None = None,
+        max_queue: int | None = None,
     ) -> None:
         self.database = database
         self._host = host
@@ -138,12 +261,24 @@ class ConfidenceServer:
             options["memo_limit"] = memo_limit
         self._pool = SessionPool(database, config, size=pool_size, **options)
         self._gate = _ReadWriteGate()
+        # Admission defaults follow the pool: more in-flight computations
+        # than pool members would only queue inside the members' worker
+        # threads, invisible to shedding and deadlines.
+        self._admission = _AdmissionQueue(
+            max_inflight if max_inflight is not None else pool_size,
+            max_queue if max_queue is not None else 4 * pool_size,
+        )
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._started = time.monotonic()
         self._connections_total = 0
         self._requests_total = 0
         self._errors_total = 0
+        self._deadline_exceeded_total = 0
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -183,19 +318,32 @@ class ConfidenceServer:
             await self.start()
         await self._server.serve_forever()
 
-    async def stop(self) -> None:
-        """Stop accepting, close open connections, release the session pool.
+    async def stop(self, *, grace: float = DEFAULT_GRACE) -> None:
+        """Drain, then stop: in-flight requests get ``grace`` seconds to answer.
 
-        Never blocks on client computations: the pool is closed without
-        joining its worker threads, so a still-running unbounded exact
-        computation cannot hold up shutdown — its connection is gone and its
-        thread finishes in the background (interpreter exit still joins it;
-        give server-facing requests budgets to bound that tail).
+        The listener closes immediately and newly arriving computation
+        frames on existing connections are shed as ``overloaded``; requests
+        already being answered keep running and their responses are written
+        before their connections close.  Past the grace period (or with
+        ``grace=0``) remaining connections are force-closed.  An idle server
+        stops immediately — the drain wait only happens when something is
+        actually in flight.
+
+        Never blocks on client computations beyond the grace: the pool is
+        closed without joining its worker threads, so a still-running
+        unbounded exact computation cannot hold up shutdown — its connection
+        is gone and its thread finishes in the background (interpreter exit
+        still joins it; give server-facing requests budgets or deadlines to
+        bound that tail).
         """
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if grace > 0 and self._inflight:
+            with contextlib.suppress(TimeoutError):
+                await asyncio.wait_for(self._idle.wait(), grace)
         for writer in list(self._writers):
             writer.close()
         for writer in list(self._writers):
@@ -241,18 +389,28 @@ class ConfidenceServer:
                     continue
                 if frame is None:
                     break  # clean EOF
-                response = await self._respond(frame)
+                # The response write is inside the in-flight window: a
+                # draining stop() waits until the answer is on the wire,
+                # not merely computed.
+                self._inflight += 1
+                self._idle.clear()
                 try:
-                    await protocol.write_frame(
-                        writer, response, max_frame_bytes=self._max_frame_bytes
-                    )
-                except ProtocolError as error:
-                    # The *response* outgrew the frame bound (e.g. a huge SQL
-                    # answer): replace it with a small error frame instead of
-                    # dropping the connection.
-                    await self._send_error(
-                        writer, response.get("id"), error.code, str(error)
-                    )
+                    response = await self._respond(frame)
+                    try:
+                        await protocol.write_frame(
+                            writer, response, max_frame_bytes=self._max_frame_bytes
+                        )
+                    except ProtocolError as error:
+                        # The *response* outgrew the frame bound (e.g. a huge
+                        # SQL answer): replace it with a small error frame
+                        # instead of dropping the connection.
+                        await self._send_error(
+                            writer, response.get("id"), error.code, str(error)
+                        )
+                finally:
+                    self._inflight -= 1
+                    if not self._inflight:
+                        self._idle.set()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -314,11 +472,30 @@ class ConfidenceServer:
             return error_frame(
                 id, "malformed-frame", "args must be an object", version=version
             )
+        deadline_ms = frame.get("deadline_ms")
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            self._errors_total += 1
+            return error_frame(
+                id,
+                "malformed-frame",
+                f"deadline_ms must be a positive number of milliseconds, "
+                f"got {deadline_ms!r}",
+                version=version,
+            )
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
         self._requests_total += 1
         try:
-            result = await self._dispatch(op, args)
+            result = await self._dispatch(op, args, deadline)
         except ReproError as error:
             self._errors_total += 1
+            if isinstance(error, DeadlineExceededError):
+                self._deadline_exceeded_total += 1
             return error_frame(
                 id, protocol.error_code(error), str(error),
                 protocol.error_detail(error), version=version,
@@ -340,21 +517,78 @@ class ConfidenceServer:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    async def _dispatch(self, op: str, args: dict) -> object:
+    async def _dispatch(
+        self, op: str, args: dict, deadline: float | None = None
+    ) -> object:
+        """Route one request, through admission control for computation ops.
+
+        ``deadline`` is the request's absolute answer-by time
+        (``time.monotonic()`` clock) or ``None``.  It bounds the admission
+        wait; whatever remains after admission is folded into the session
+        request (see :meth:`_admitted`).
+        """
         if op == "ping":
             return {"pong": True, "protocol": PROTOCOL_VERSION}
+        if op == "health":
+            return self._health()
         if op == "stats":
             # Shared gate: the database fields of the snapshot must not read
             # a half-swapped database during an exclusive assert.
             async with self._gate:
                 return self._stats()
+        assert op in _ADMITTED_OPS, f"unreachable op {op!r}"
+        if self._draining:
+            self._admission.shed("server is draining; no new work is admitted")
+        timeout = None
+        if deadline is not None:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise DeadlineExceededError(
+                    "deadline already expired on arrival", deadline_ms=0.0
+                )
+        async with self._admission.admit(timeout):
+            return await self._admitted(op, args, deadline)
+
+    async def _admitted(self, op: str, args: dict, deadline: float | None) -> object:
+        """Answer an admitted computation op, deadline folded into the request.
+
+        ``confidence`` / ``confidence_many`` requests carry the *remaining*
+        milliseconds as :attr:`~repro.db.session.ConfidenceRequest.deadline_ms`
+        (tightening any client-set value), so an overrunning exact
+        computation degrades to a Karp-Luby answer inside the deadline
+        instead of erroring.  For ``confidence_batch`` and SQL execution the
+        deadline bounds the admission wait only — their computations have no
+        mid-flight degradation path.
+
+        The ``server.dispatch`` fault point sits at the top, *inside* the
+        admission slot: a ``delay`` fault holds the request open — in flight
+        for drain purposes, occupying capacity for shedding tests — without
+        burning CPU.
+        """
+        if _faults.INJECTOR.armed:
+            fault = _faults.INJECTOR.take("server.dispatch")
+            if fault is not None and fault.seconds > 0.0:
+                await asyncio.sleep(fault.seconds)
+        remaining_ms = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "deadline expired in the admission queue", deadline_ms=0.0
+                )
+            remaining_ms = remaining * 1000.0
         if op == "confidence":
-            request = ConfidenceRequest.from_payload(args)
+            request = self._fold_deadline(
+                ConfidenceRequest.from_payload(args), remaining_ms
+            )
             async with self._gate:
                 result = await self._pool.acquire().query(request)
             return result.to_payload()
         if op == "confidence_many":
-            requests = self._many_requests(args)
+            requests = [
+                self._fold_deadline(request, remaining_ms)
+                for request in self._many_requests(args)
+            ]
             async with self._gate:
                 results = await self._confidence_many(requests)
             return {"results": [result.to_payload() for result in results]}
@@ -372,6 +606,34 @@ class ConfidenceServer:
                 results = await self._pool.acquire().execute_script(sql)
             return [protocol.query_result_to_payload(result) for result in results]
         raise AssertionError(f"unreachable op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _fold_deadline(
+        request: ConfidenceRequest, remaining_ms: float | None
+    ) -> ConfidenceRequest:
+        """Tighten a request's ``deadline_ms`` to the frame's remaining time."""
+        if remaining_ms is None:
+            return request
+        if request.deadline_ms is not None and request.deadline_ms <= remaining_ms:
+            return request
+        return replace(request, deadline_ms=remaining_ms)
+
+    def _health(self) -> dict:
+        """The ``health`` payload: liveness plus admission pressure, lock-free.
+
+        Deliberately reads no database state and takes no gate — health
+        checks must answer even while an exclusive ``assert`` or a saturated
+        admission queue would stall a ``stats`` frame.
+        """
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "inflight": self._inflight,
+            "queued": self._admission.waiting,
+            "max_inflight": self._admission.max_inflight,
+            "max_queue": self._admission.max_queue,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
 
     def _exclusion_for(self, sql: str):
         """The gate mode for a SQL request: exclusive iff it conditions.
@@ -462,6 +724,14 @@ class ConfidenceServer:
                 "uptime_seconds": time.monotonic() - self._started,
                 "relations": list(self.database.relation_names),
                 "variables": len(self.database.world_table),
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "queued": self._admission.waiting,
+                "max_inflight": self._admission.max_inflight,
+                "max_queue": self._admission.max_queue,
+                "admitted_total": self._admission.admitted_total,
+                "shed_total": self._admission.shed_total,
+                "deadline_exceeded_total": self._deadline_exceeded_total,
             },
         }
 

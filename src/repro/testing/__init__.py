@@ -1,0 +1,26 @@
+"""Testing support: the fault-injection harness behind the chaos suite.
+
+Nothing here runs in ordinary operation — the fault points compiled into the
+serving stack are no-ops until a fault is armed (see
+:mod:`repro.testing.faults`).
+"""
+
+from repro.testing.faults import (
+    Fault,
+    FaultInjector,
+    INJECTOR,
+    arm,
+    disarm_all,
+    kill_pool_worker,
+    take,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "INJECTOR",
+    "arm",
+    "disarm_all",
+    "kill_pool_worker",
+    "take",
+]

@@ -1,0 +1,213 @@
+"""Fault-injection harness: deterministic failures at named fault points.
+
+The serving stack compiles in a handful of *fault points* — places where the
+chaos suite can make precisely the thing go wrong that production fears:
+
+``frame.send``
+    The outbound frame transport (:func:`repro.server.protocol.write_frame` /
+    :func:`~repro.server.protocol.send_frame`).  ``drop`` severs the
+    connection before any byte is written; ``truncate`` writes half the
+    encoded frame and then severs it (the peer sees a mid-frame disconnect);
+    ``delay`` sleeps before writing (drives client request timeouts).
+``server.dispatch``
+    Inside :meth:`repro.server.server.ConfidenceServer._admitted`, after the
+    request won its admission slot.  ``delay`` holds the request open —
+    in flight and occupying capacity — without burning CPU (drives load
+    shedding, client timeouts and drain grace periods).
+``procpool.worker``
+    Shipped with the first chunk of the next
+    :meth:`repro.core.procpool.ProcessPoolBackend.compute` call, and executed
+    *inside the worker process*: ``kill`` makes the worker ``SIGKILL`` itself
+    mid-computation (breaking the pool exactly the way a crashed worker
+    does), ``delay`` stalls the chunk.
+
+Arming is explicit and bounded: every :class:`Fault` carries a number of
+``times`` (charges); each :func:`take` consumes one, and an exhausted fault
+disarms itself.  Nothing is armed by default and the fast path of
+:func:`take` is a single attribute check, so production traffic never pays
+for the hooks.
+
+For subprocess targets (the CLI server under test), faults arm through the
+environment: ``REPRO_FAULTS="server.dispatch:delay:0.8:1"`` is parsed at
+import time into the module injector.  The format is
+``point:kind[:seconds[:times]]``, comma-separated for several points.
+
+:func:`kill_pool_worker` is the one fault that cannot be a fault point: it
+SIGKILLs a live worker process of a :class:`ProcessPoolBackend` *from the
+outside*, for tests that want the pool to break between — rather than
+during — computations.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.procpool import ProcessPoolBackend
+
+#: Fault kinds understood by the fault points.
+KINDS = ("delay", "drop", "truncate", "kill")
+
+#: Environment variable arming faults in subprocesses (parsed at import).
+ENV_VAR = "REPRO_FAULTS"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed failure: what goes wrong, how long, how often.
+
+    Instances are immutable and picklable (``procpool.worker`` faults travel
+    to worker processes); the charge bookkeeping lives in the injector, not
+    here.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            known = ", ".join(KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        if self.times < 1:
+            raise ValueError(f"a fault needs at least one charge, got {self.times}")
+
+    def sleep(self) -> None:
+        """Block for the fault's delay (used by synchronous fault points)."""
+        if self.seconds > 0.0:
+            time.sleep(self.seconds)
+
+    def truncate(self, data: bytes) -> bytes:
+        """The prefix of ``data`` a ``truncate`` fault lets through."""
+        return data[: max(1, len(data) // 2)]
+
+
+class FaultInjector:
+    """A thread-safe registry of armed faults, consumed one charge at a time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._faults: dict[str, tuple[Fault, int]] = {}
+        # Fast-path flag: take() must cost one attribute read when nothing is
+        # armed (the hooks sit on serving hot paths).
+        self.armed = False
+        self.fired: dict[str, int] = {}
+
+    def arm(self, point: str, fault: Fault) -> None:
+        """Arm ``fault`` at ``point`` (replacing whatever was armed there)."""
+        with self._lock:
+            self._faults[point] = (fault, fault.times)
+            self.armed = True
+
+    def disarm(self, point: str) -> None:
+        with self._lock:
+            self._faults.pop(point, None)
+            self.armed = bool(self._faults)
+
+    def disarm_all(self) -> None:
+        with self._lock:
+            self._faults.clear()
+            self.armed = False
+
+    def take(self, point: str) -> Fault | None:
+        """Consume one charge of the fault armed at ``point`` (or ``None``).
+
+        The caller — the fault point — is responsible for *executing* the
+        fault; taking only does the bookkeeping, so a taken charge counts as
+        fired even if the caller's failure path is interrupted.
+        """
+        if not self.armed:
+            return None
+        with self._lock:
+            entry = self._faults.get(point)
+            if entry is None:
+                return None
+            fault, charges = entry
+            if charges <= 1:
+                del self._faults[point]
+                self.armed = bool(self._faults)
+            else:
+                self._faults[point] = (fault, charges - 1)
+            self.fired[point] = self.fired.get(point, 0) + 1
+            return fault
+
+    def charges(self, point: str) -> int:
+        """Remaining charges at ``point`` (0 when nothing is armed)."""
+        with self._lock:
+            entry = self._faults.get(point)
+            return entry[1] if entry is not None else 0
+
+    def arm_from_spec(self, spec: str) -> None:
+        """Arm faults from a ``point:kind[:seconds[:times]],...`` string."""
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"malformed fault spec {item!r} (want point:kind[:seconds[:times]])"
+                )
+            point, kind = parts[0], parts[1]
+            seconds = float(parts[2]) if len(parts) > 2 else 0.0
+            times = int(parts[3]) if len(parts) > 3 else 1
+            self.arm(point, Fault(kind, seconds=seconds, times=times))
+
+
+#: The process-wide injector every fault point consults.
+INJECTOR = FaultInjector()
+
+
+def arm(point: str, fault: Fault) -> None:
+    """Arm a fault on the module injector (see :meth:`FaultInjector.arm`)."""
+    INJECTOR.arm(point, fault)
+
+
+def take(point: str) -> Fault | None:
+    """Consume one charge at ``point`` from the module injector."""
+    return INJECTOR.take(point)
+
+
+def disarm_all() -> None:
+    """Disarm every fault on the module injector (test teardown)."""
+    INJECTOR.disarm_all()
+
+
+def execute_in_worker(fault: Fault | None) -> None:
+    """Run a fault shipped into a worker process (``procpool.worker`` point).
+
+    ``kill`` SIGKILLs the worker itself — the closest controlled stand-in
+    for a segfaulting or OOM-killed worker, and exactly what breaks a
+    ``ProcessPoolExecutor`` mid-computation.
+    """
+    if fault is None:
+        return
+    fault.sleep()
+    if fault.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def kill_pool_worker(backend: "ProcessPoolBackend", *, index: int = 0) -> int:
+    """SIGKILL one live worker process of a started backend; returns its pid.
+
+    Test-only: reaches into the backend's executor, so the pool must have
+    been started (``warm_up()`` or a prior compute).  The next computation
+    on the broken pool exercises the discard/rebuild/retry path.
+    """
+    executor = backend._executor
+    if executor is None or not executor._processes:
+        raise RuntimeError("backend has no live workers to kill (warm_up first)")
+    pids = sorted(executor._processes)
+    pid = pids[index % len(pids)]
+    os.kill(pid, signal.SIGKILL)
+    return pid
+
+
+_env_spec = os.environ.get(ENV_VAR)
+if _env_spec:
+    INJECTOR.arm_from_spec(_env_spec)

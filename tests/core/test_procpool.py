@@ -3,9 +3,10 @@
 The backend's contract: task units and the id-space snapshot pickle cheaply,
 worker-side engines compute exactly what the parent's engine would, chunking
 preserves component order, worker-raised repro errors re-raise with their own
-types without hurting the pool, and a pool broken outside Python surfaces a
-typed :class:`~repro.errors.WorkerPoolError` after which the backend rebuilds
-itself lazily.
+types without hurting the pool, and a pool broken outside Python is rebuilt
+with the lost chunks retried once — the computation still succeeds with
+bit-identical values, and only a pool that breaks *again* during the retry
+surfaces a typed :class:`~repro.errors.WorkerPoolError`.
 """
 
 from __future__ import annotations
@@ -168,32 +169,86 @@ class TestBackend:
         assert backend.compute(engine.space, engine.config, [], None, None) == []
 
 
+class _BrokenExecutor:
+    """Stand-in for a pool whose workers were all killed: submit() raises."""
+
+    def submit(self, *args, **kwargs):
+        raise BrokenProcessPool("worker died")
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
 class TestBrokenPool:
-    def test_broken_pool_raises_worker_pool_error_and_recovers(self):
+    def test_broken_pool_retries_lost_chunks_and_succeeds(self):
         backend = ProcessPoolBackend(2)
         try:
             _, engine, components = interned_instance(11)
-
-            class _BrokenExecutor:
-                def submit(self, *args, **kwargs):
-                    raise BrokenProcessPool("worker died")
-
-                def shutdown(self, *args, **kwargs):
-                    pass
-
-            # Simulate a pool whose workers were killed: submit() raises.
             backend._executor = _BrokenExecutor()
-            with pytest.raises(WorkerPoolError):
-                backend.compute(engine.space, engine.config, components, None, None)
-            # The broken executor was discarded; the next computation builds
-            # a fresh pool and succeeds.
-            assert backend._executor is None
+            # The break is absorbed: every chunk was lost, the pool is
+            # rebuilt, and the retried computation returns the serial values.
             values = backend.compute(
                 engine.space, engine.config, components, None, None
             )
             assert [value for value, _ in values] == [
                 engine.run(list(component)) for component in components
             ]
+            assert backend.chunk_retries > 0
+            assert backend.pools_broken == 1
+            # The rebuilt pool is current and healthy for the next call.
+            assert backend._executor is not None
+            again = backend.compute(
+                engine.space, engine.config, components, None, None
+            )
+            assert [value for value, _ in again] == [value for value, _ in values]
+        finally:
+            backend.close()
+
+    def test_pool_broken_twice_raises_worker_pool_error(self, monkeypatch):
+        backend = ProcessPoolBackend(2)
+        try:
+            _, engine, components = interned_instance(11)
+            # Every executor the backend builds is broken, so the retry leg
+            # breaks too and the typed error finally surfaces.
+            monkeypatch.setattr(
+                backend, "_ensure_executor", lambda: _BrokenExecutor()
+            )
+            with pytest.raises(WorkerPoolError, match="broke again"):
+                backend.compute(engine.space, engine.config, components, None, None)
+        finally:
+            backend.close()
+
+    def test_sigkilled_worker_recovers_with_bit_identical_values(self):
+        # The real thing, not a stand-in: a live worker process is SIGKILLed
+        # and the very next computation still returns the serial values.
+        from repro.testing import kill_pool_worker
+
+        backend = ProcessPoolBackend(2)
+        try:
+            _, engine, components = interned_instance(13)
+            backend.warm_up()
+            kill_pool_worker(backend)
+            values = backend.compute(
+                engine.space, engine.config, components, None, None
+            )
+            assert [value for value, _ in values] == [
+                engine.run(list(component)) for component in components
+            ]
+        finally:
+            backend.close()
+
+    def test_concurrent_discard_spares_a_rebuilt_pool(self):
+        # Two computations racing on the same dead pool: the second discard
+        # must be a no-op (identity check), not tear down the replacement.
+        backend = ProcessPoolBackend(2)
+        try:
+            broken = _BrokenExecutor()
+            backend._executor = broken
+            backend._discard_executor(broken)
+            fresh = backend._ensure_executor()
+            backend._discard_executor(broken)  # stale reference: ignored
+            assert backend._executor is fresh
+            assert backend.pools_broken == 1
         finally:
             backend.close()
 

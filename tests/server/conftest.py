@@ -9,6 +9,15 @@ import pytest
 
 from repro.db.database import ProbabilisticDatabase
 from repro.server.server import ConfidenceServer
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """No fault armed by a chaos test may leak into its neighbours."""
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
 
 
 class ServerThread:

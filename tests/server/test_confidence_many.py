@@ -159,10 +159,12 @@ class TestConfidenceMany:
 
 
 class TestProtocolVersioning:
-    def test_ping_reports_version_2(self, running_server, ssn_database):
+    def test_ping_reports_the_current_protocol_version(
+        self, running_server, ssn_database
+    ):
         with running_server(ssn_database) as server:
             with connect(server.host, server.port) as session:
-                assert session.ping()["protocol"] == PROTOCOL_VERSION == 2
+                assert session.ping()["protocol"] == PROTOCOL_VERSION == 3
 
     def test_v1_frames_still_answered_and_echo_v1(
         self, running_server, ssn_database
@@ -220,9 +222,9 @@ class TestProtocolVersioning:
     ):
         with running_server(ssn_database) as server:
             with socket.create_connection((server.host, server.port)) as sock:
-                response = raw_roundtrip(sock, {"v": 3, "id": 5, "op": "ping"})
+                response = raw_roundtrip(sock, {"v": 99, "id": 5, "op": "ping"})
                 assert response["error"]["code"] == "unsupported-version"
-                assert "1, 2" in response["error"]["message"]
+                assert "1, 2, 3" in response["error"]["message"]
 
     def test_client_surfaces_unknown_op_against_old_server(self):
         # Simulate an old (v1) server: it answers confidence_many with

@@ -1,0 +1,205 @@
+"""Client-side resilience units: RetryPolicy, failure classing, timeouts.
+
+The retry loop's contract is narrow on purpose: only operations in
+:data:`repro.server.protocol.IDEMPOTENT_OPS` ever retry, each failure is
+classified as (retryable, connection-gone), and a gone connection is closed
+so the next attempt reconnects from scratch.  These tests pin the schedule
+arithmetic and the classification table without a server, then drive the
+``request_timeout`` path against a live one with an injected dispatch delay.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    RequestTimeoutError,
+    WorkerPoolError,
+)
+from repro.server import RetryPolicy, connect
+from repro.server.client import ServerSession, _failure_mode
+from repro.testing import Fault, faults
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_to_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        delays = [policy.delay_for(n) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_retry_after_hint_raises_the_delay(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=2.0, jitter=0.0)
+        assert policy.delay_for(1, retry_after_ms=250) == 0.25
+        # ... but never past the cap: the server hint is advice, not a stall.
+        assert policy.delay_for(1, retry_after_ms=60_000) == 2.0
+        # A hint below the schedule does not shorten it.
+        assert policy.delay_for(1, retry_after_ms=1) == 0.01
+
+    def test_jitter_is_deterministic_under_a_seeded_rng(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        first = [policy.delay_for(1, rng=random.Random(7)) for _ in range(3)]
+        assert first[0] == first[1] == first[2]
+        assert 0.1 <= first[0] <= 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+        # attempts=1 is legal: a policy that never retries.
+        assert RetryPolicy(attempts=1).attempts == 1
+
+
+class TestFailureMode:
+    @pytest.mark.parametrize(
+        ("error", "retryable", "broken"),
+        [
+            (OverloadedError("shed", retry_after_ms=50), True, False),
+            (WorkerPoolError("pool died"), True, False),
+            (RequestTimeoutError("slow", timeout=0.1), True, True),
+            (ProtocolError("closed", code="connection-closed"), True, True),
+            (ProtocolError("bad frame", code="malformed-frame"), False, True),
+            (ConnectionResetError("reset"), True, True),
+            (OSError("io"), True, True),
+            (DeadlineExceededError("late", deadline_ms=10.0), False, False),
+            (BudgetExceededError("budget"), False, False),
+            (ValueError("app bug"), False, False),
+        ],
+    )
+    def test_classification(self, error, retryable, broken):
+        assert _failure_mode(error) == (retryable, broken)
+
+
+def scripted_session(outcomes, *, retry):
+    """A ServerSession whose ``_call_once`` replays ``outcomes`` in order.
+
+    Outcomes are exceptions (raised) or plain values (returned); the returned
+    ``calls`` list records every attempted op.
+    """
+    session = ServerSession(socket.socket(), retry=retry)
+    remaining = list(outcomes)
+    calls = []
+
+    def fake_call_once(op, args, deadline_ms):
+        calls.append(op)
+        outcome = remaining.pop(0)
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    session._call_once = fake_call_once
+    return session, calls
+
+
+class TestRetryLoop:
+    def test_overloaded_twice_then_success(self):
+        session, calls = scripted_session(
+            [
+                OverloadedError("busy", retry_after_ms=1),
+                OverloadedError("busy", retry_after_ms=1),
+                {"pong": True, "protocol": 3},
+            ],
+            retry=RetryPolicy(attempts=3, base_delay=0.0, jitter=0.0),
+        )
+        assert session.ping()["pong"] is True
+        assert calls == ["ping", "ping", "ping"]
+        assert session.retries == 2
+
+    def test_non_idempotent_ops_never_retry(self):
+        session, calls = scripted_session(
+            [OverloadedError("busy", retry_after_ms=1)],
+            retry=RetryPolicy(attempts=5, base_delay=0.0, jitter=0.0),
+        )
+        with pytest.raises(OverloadedError):
+            session.execute("assert R.ID = 1")
+        assert calls == ["execute"]
+        assert session.retries == 0
+
+    def test_deadline_exceeded_is_terminal_even_for_idempotent_ops(self):
+        session, calls = scripted_session(
+            [DeadlineExceededError("late", deadline_ms=5.0)],
+            retry=RetryPolicy(attempts=5, base_delay=0.0, jitter=0.0),
+        )
+        with pytest.raises(DeadlineExceededError):
+            session.ping()
+        assert calls == ["ping"]
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        session, calls = scripted_session(
+            [OverloadedError("busy", retry_after_ms=1)] * 2,
+            retry=RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0),
+        )
+        with pytest.raises(OverloadedError):
+            session.ping()
+        assert calls == ["ping", "ping"]
+        assert session.retries == 1
+
+    def test_connection_breaking_failure_closes_the_socket(self):
+        session, _ = scripted_session(
+            [RequestTimeoutError("slow", timeout=0.1)], retry=None
+        )
+        with pytest.raises(RequestTimeoutError):
+            session.ping()
+        assert session._sock is None  # next attempt must reconnect
+
+    def test_without_an_address_a_closed_session_cannot_reconnect(self):
+        session = ServerSession(socket.socket())
+        session.close()
+        with pytest.raises(ProtocolError, match="no address"):
+            session.ping()
+
+
+# ----------------------------------------------------------------------
+# request_timeout against a live (artificially slow) server
+# ----------------------------------------------------------------------
+class TestRequestTimeout:
+    def test_slow_dispatch_raises_a_typed_timeout(
+        self, running_server, ssn_database
+    ):
+        with running_server(ssn_database) as server:
+            faults.arm("server.dispatch", Fault("delay", seconds=0.5, times=1))
+            with connect(
+                server.host, server.port, request_timeout=0.15
+            ) as session:
+                with pytest.raises(RequestTimeoutError) as caught:
+                    session.confidence("R")
+                assert caught.value.timeout == 0.15
+                # The timed-out stream was abandoned; the next call runs on a
+                # fresh connection and answers normally.
+                assert session.ping()["pong"] is True
+
+    def test_retry_reconnects_through_the_timeout_to_the_answer(
+        self, running_server, ssn_database
+    ):
+        expected = ssn_database.session().confidence("R").value
+        with running_server(ssn_database) as server:
+            faults.arm("server.dispatch", Fault("delay", seconds=0.5, times=1))
+            with connect(
+                server.host, server.port,
+                request_timeout=0.2,
+                retry=RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0),
+            ) as session:
+                assert session.confidence("R").value == expected
+                assert session.retries == 1
+
+    def test_async_client_times_out_too(self, running_server, ssn_database):
+        import asyncio
+
+        from repro.server import connect_async
+
+        async def scenario(host, port):
+            session = await connect_async(host, port, request_timeout=0.15)
+            async with session:
+                with pytest.raises(RequestTimeoutError):
+                    await session.confidence("R")
+
+        with running_server(ssn_database) as server:
+            faults.arm("server.dispatch", Fault("delay", seconds=0.5, times=1))
+            asyncio.run(scenario(server.host, server.port))

@@ -1,0 +1,118 @@
+"""Graceful shutdown of the CLI server process under load.
+
+Both tests run the real ``python -m repro.server`` entrypoint and SIGTERM it
+while a request is deliberately held in flight (``REPRO_FAULTS`` arms a
+``server.dispatch`` delay inside the subprocess).  The drain contract:
+
+* within ``--grace``, the in-flight answer still arrives — correct — before
+  the process prints ``server stopped`` and exits 0;
+* past ``--grace``, the server force-closes the laggard connection but
+  *still* shuts down cleanly: banner, exit 0, no hang.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.server import connect
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def start_cli_server(*extra_args: str, fault_spec: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(_repo_root() / "src"), env.get("PYTHONPATH")])
+    )
+    env["REPRO_FAULTS"] = fault_spec
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.server",
+            "--port", "0", "--pool", "2",
+            "--workload", "figure11a:n=12,r=2,s=3,w=12,seed=0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+
+
+def read_banner(process: subprocess.Popen) -> tuple[str, int]:
+    banner = process.stdout.readline().strip()
+    match = re.fullmatch(r"listening on (.+):(\d+)", banner)
+    assert match, f"unexpected banner {banner!r} (stderr: {process.stderr.read()})"
+    return match.group(1), int(match.group(2))
+
+
+def test_sigterm_drains_the_inflight_request_within_grace():
+    process = start_cli_server(
+        "--grace", "10", fault_spec="server.dispatch:delay:1.0:1"
+    )
+    try:
+        host, port = read_banner(process)
+        outcome: dict = {}
+
+        def slow_request():
+            try:
+                with connect(host, port, timeout=5) as session:
+                    outcome["value"] = session.confidence("HARD").value
+            except BaseException as error:  # noqa: BLE001 - recorded for assert
+                outcome["error"] = error
+
+        thread = threading.Thread(target=slow_request, daemon=True)
+        thread.start()
+        # Give the request time to win its admission slot and start the
+        # injected one-second sleep; then ask the server to die.
+        time.sleep(0.4)
+        process.send_signal(signal.SIGTERM)
+        thread.join(timeout=15)
+        stdout, stderr = process.communicate(timeout=20)
+    finally:
+        process.kill()
+    assert process.returncode == 0, stderr
+    assert "server stopped" in stdout
+    # The drain waited for the delayed answer: the client got a real value,
+    # not a reset.
+    assert "error" not in outcome, f"in-flight request failed: {outcome['error']!r}"
+    assert outcome["value"] > 0.0
+
+
+def test_sigterm_past_grace_force_closes_but_exits_cleanly():
+    process = start_cli_server(
+        "--grace", "0.3", fault_spec="server.dispatch:delay:5:1"
+    )
+    try:
+        host, port = read_banner(process)
+        outcome: dict = {}
+
+        def doomed_request():
+            try:
+                with connect(host, port, timeout=5) as session:
+                    outcome["value"] = session.confidence("HARD").value
+            except BaseException as error:  # noqa: BLE001 - expected path
+                outcome["error"] = error
+
+        thread = threading.Thread(target=doomed_request, daemon=True)
+        thread.start()
+        time.sleep(0.4)
+        started = time.monotonic()
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=20)
+        elapsed = time.monotonic() - started
+        thread.join(timeout=10)
+    finally:
+        process.kill()
+    assert process.returncode == 0, stderr
+    assert "server stopped" in stdout
+    # Force-close happened at the grace bound, far before the 5s fault delay.
+    assert elapsed < 4.0
+    # The laggard was cut off — a typed client-side failure, never a hang.
+    assert "error" in outcome

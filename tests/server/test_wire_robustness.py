@@ -1,0 +1,145 @@
+"""Wire-robustness fuzzing: hostile bytes must never take the server down.
+
+Every test speaks raw sockets — truncated length prefixes, frames that
+promise more bytes than arrive, declared lengths past the frame bound,
+non-JSON bodies, seeded random garbage — and then proves the server is
+still alive and *correct* by running a real confidence request on a fresh
+connection.  The protocol's recovery contract: a frame whose bytes all
+arrived (however rotten) gets an error frame on a still-synchronised
+stream; a stream that dies mid-frame is dropped without ceremony.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+
+import pytest
+
+from repro.server import connect
+from repro.server.protocol import HEADER, encode_frame, recv_frame, request_frame
+
+
+def raw_connection(server) -> socket.socket:
+    sock = socket.create_connection((server.host, server.port), timeout=5)
+    sock.settimeout(5)
+    return sock
+
+
+def assert_still_serving(server, expected_value: float) -> None:
+    """The ultimate health check: a correct answer on a fresh connection."""
+    with connect(server.host, server.port, timeout=5) as session:
+        assert session.ping()["pong"] is True
+        assert session.confidence("R").value == expected_value
+
+
+@pytest.fixture
+def serving(running_server, ssn_database):
+    expected = ssn_database.session().confidence("R").value
+    with running_server(ssn_database) as server:
+        yield server, expected
+
+
+class TestMalformedFrames:
+    def test_truncated_length_prefix_then_disconnect(self, serving):
+        server, expected = serving
+        with raw_connection(server) as sock:
+            sock.sendall(b"\x00\x00")  # half a header, then gone
+        assert_still_serving(server, expected)
+
+    def test_header_promises_more_bytes_than_arrive(self, serving):
+        server, expected = serving
+        with raw_connection(server) as sock:
+            sock.sendall(HEADER.pack(1000) + b'{"op": "ping"')
+        assert_still_serving(server, expected)
+
+    def test_mid_frame_disconnect_of_a_valid_request(self, serving):
+        server, expected = serving
+        frame = encode_frame(request_frame("ping", id=1))
+        with raw_connection(server) as sock:
+            sock.sendall(frame[: len(frame) // 2])
+        assert_still_serving(server, expected)
+
+    def test_non_json_body_gets_an_error_frame_in_stream(self, serving):
+        server, expected = serving
+        body = b"\xff\xfe not json at all \x00"
+        with raw_connection(server) as sock:
+            sock.sendall(HEADER.pack(len(body)) + body)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "malformed-frame"
+            # The stream stayed synchronised: the same connection still works.
+            sock.sendall(encode_frame(request_frame("ping", id=7)))
+            assert recv_frame(sock)["result"]["pong"] is True
+        assert_still_serving(server, expected)
+
+    def test_json_body_that_is_not_an_object(self, serving):
+        server, expected = serving
+        body = b'[1, 2, 3]'
+        with raw_connection(server) as sock:
+            sock.sendall(HEADER.pack(len(body)) + body)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+        assert_still_serving(server, expected)
+
+
+class TestOversizedFrames:
+    def test_oversized_declared_length_is_drained_and_answered(
+        self, running_server, ssn_database
+    ):
+        expected = ssn_database.session().confidence("R").value
+        with running_server(ssn_database, max_frame_bytes=4096) as server:
+            with raw_connection(server) as sock:
+                sock.sendall(HEADER.pack(8192) + b"x" * 8192)
+                response = recv_frame(sock)
+                assert response["ok"] is False
+                assert response["error"]["code"] == "frame-too-large"
+                # Drained whole, so the stream survives the insult.
+                sock.sendall(encode_frame(request_frame("ping", id=2)))
+                assert recv_frame(sock)["result"]["pong"] is True
+            assert_still_serving(server, expected)
+
+    def test_oversized_length_with_disconnect_during_drain(
+        self, running_server, ssn_database
+    ):
+        expected = ssn_database.session().confidence("R").value
+        with running_server(ssn_database, max_frame_bytes=4096) as server:
+            with raw_connection(server) as sock:
+                sock.sendall(HEADER.pack(1 << 20) + b"x" * 100)
+            assert_still_serving(server, expected)
+
+
+class TestGarbageFuzzing:
+    def test_seeded_random_garbage_never_kills_the_server(self, serving):
+        server, expected = serving
+        rng = random.Random(2008)
+        for _ in range(12):
+            blob = rng.randbytes(rng.randint(1, 512))
+            with raw_connection(server) as sock:
+                try:
+                    sock.sendall(blob)
+                    # Whatever the server makes of it — error frames, a
+                    # drain, a shrug — it must not hang this socket forever.
+                    sock.settimeout(0.5)
+                    sock.recv(4096)
+                except OSError:
+                    pass  # resets and timeouts are acceptable outcomes
+        assert_still_serving(server, expected)
+
+    def test_bitflipped_valid_frames(self, serving):
+        server, expected = serving
+        rng = random.Random(11)
+        pristine = encode_frame(request_frame("ping", id=3))
+        for _ in range(12):
+            corrupted = bytearray(pristine)
+            for _ in range(rng.randint(1, 4)):
+                index = rng.randrange(len(corrupted))
+                corrupted[index] ^= 1 << rng.randrange(8)
+            with raw_connection(server) as sock:
+                try:
+                    sock.sendall(bytes(corrupted))
+                    sock.settimeout(0.5)
+                    sock.recv(4096)
+                except OSError:
+                    pass
+        assert_still_serving(server, expected)

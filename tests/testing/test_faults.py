@@ -1,0 +1,120 @@
+"""Unit tests of the fault-injection harness (:mod:`repro.testing.faults`).
+
+The harness is itself load-bearing test infrastructure — the chaos suite's
+conclusions are only as good as the injector's bookkeeping — so its contract
+gets its own tests: charges are consumed exactly once, exhausted faults
+disarm themselves, nothing fires unarmed, and the environment-variable spec
+used to arm subprocesses parses faithfully.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import Fault, FaultInjector, faults
+
+
+@pytest.fixture(autouse=True)
+def clean_module_injector():
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+class TestFault:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode")
+
+    def test_needs_at_least_one_charge(self):
+        with pytest.raises(ValueError, match="at least one charge"):
+            Fault("delay", times=0)
+
+    def test_truncate_keeps_a_proper_nonempty_prefix(self):
+        fault = Fault("truncate")
+        data = b"0123456789"
+        cut = fault.truncate(data)
+        assert data.startswith(cut)
+        assert 0 < len(cut) < len(data)
+        assert fault.truncate(b"x") == b"x"  # never truncates to nothing
+
+    def test_faults_are_picklable(self):
+        import pickle
+
+        fault = Fault("kill", seconds=0.25, times=3)
+        assert pickle.loads(pickle.dumps(fault)) == fault
+
+
+class TestFaultInjector:
+    def test_unarmed_take_is_none_and_cheap(self):
+        injector = FaultInjector()
+        assert injector.armed is False
+        assert injector.take("frame.send") is None
+        assert injector.fired == {}
+
+    def test_charges_are_consumed_and_exhaustion_disarms(self):
+        injector = FaultInjector()
+        injector.arm("frame.send", Fault("drop", times=2))
+        assert injector.armed is True
+        assert injector.charges("frame.send") == 2
+        assert injector.take("frame.send").kind == "drop"
+        assert injector.take("frame.send").kind == "drop"
+        assert injector.take("frame.send") is None
+        assert injector.armed is False
+        assert injector.fired["frame.send"] == 2
+
+    def test_take_is_per_point(self):
+        injector = FaultInjector()
+        injector.arm("frame.send", Fault("drop"))
+        assert injector.take("server.dispatch") is None
+        assert injector.charges("frame.send") == 1
+
+    def test_arm_replaces_and_disarm_removes(self):
+        injector = FaultInjector()
+        injector.arm("frame.send", Fault("drop", times=5))
+        injector.arm("frame.send", Fault("truncate", times=1))
+        assert injector.take("frame.send").kind == "truncate"
+        injector.arm("frame.send", Fault("drop"))
+        injector.disarm("frame.send")
+        assert injector.armed is False
+
+    def test_arm_from_spec_parses_points_kinds_seconds_times(self):
+        injector = FaultInjector()
+        injector.arm_from_spec(
+            "server.dispatch:delay:0.8:2, frame.send:drop, procpool.worker:kill:0:1"
+        )
+        delayed = injector.take("server.dispatch")
+        assert delayed == Fault("delay", seconds=0.8, times=2)
+        assert injector.charges("server.dispatch") == 1
+        assert injector.take("frame.send").kind == "drop"
+        assert injector.take("procpool.worker").kind == "kill"
+
+    def test_arm_from_spec_rejects_malformed_items(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="malformed fault spec"):
+            injector.arm_from_spec("frame.send")
+
+    def test_module_helpers_drive_the_shared_injector(self):
+        faults.arm("frame.send", Fault("delay", seconds=0.0))
+        assert faults.INJECTOR.armed is True
+        assert faults.take("frame.send").kind == "delay"
+        faults.disarm_all()
+        assert faults.INJECTOR.armed is False
+
+
+class TestWorkerExecution:
+    def test_none_and_delay_are_harmless_in_process(self):
+        faults.execute_in_worker(None)
+        faults.execute_in_worker(Fault("delay", seconds=0.0))
+        # Anything but "kill" is a no-op beyond the sleep — notably it must
+        # not kill *this* (the test) process.
+
+    def test_kill_pool_worker_needs_a_started_pool(self):
+        from repro.core.procpool import ProcessPoolBackend
+
+        backend = ProcessPoolBackend(1)
+        try:
+            with pytest.raises(RuntimeError, match="no live workers"):
+                faults.kill_pool_worker(backend)
+        finally:
+            backend.close()
