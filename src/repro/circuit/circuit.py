@@ -1,0 +1,639 @@
+"""Lineage circuits: the compiled, re-evaluatable form of one decomposition.
+
+A :class:`Circuit` is the arithmetic-circuit trace of one run of the interned
+engine's decomposition (Figure 7): a DAG of
+
+* ``PROD`` (⊗) nodes — independent partitioning, ``P = 1 − Π_i (1 − P_i)``;
+* ``SUM``  (⊕) nodes — variable elimination,
+  ``P = Σ_certain w_i + Σ_branches w_i · P_i + w_absent · P_T``;
+* ``IE`` nodes — the inclusion-exclusion closed form over at most
+  :data:`~repro.core.interned._CLOSED_FORM_LIMIT` descriptors;
+* ``CONST`` leaves — the ∅ (``1.0``) and ⊥ (``0.0``) cases,
+
+whose leaves reference *weight slots* (packed ``(variable_id << shift) |
+value_id`` assignments of the circuit's :class:`~repro.core.interned.
+InternedSpace`) instead of literal probabilities.  Because the engine's
+variable-selection heuristics depend only on occurrence counts and domain
+sizes — never on the weights — the recorded structure is valid under **any**
+re-weighting of the same variables over the same domains.  That is the
+d-DNNF-style compile-once / evaluate-many discipline: decompose once, then
+answer "what if this tuple's probability were p?" sweeps and per-variable
+sensitivities in microseconds.
+
+Evaluation replicates the engine's accumulation orders exactly (certain
+weights first in ascending value-id order, branch children next in ascending
+order, the shared ``T`` branch last; the numpy ``fold_absent_weight``
+reduction above the engine's domain-size threshold), so
+:meth:`Circuit.evaluate` on the recording weights is **bit-identical** to the
+uncompiled engine — asserted by the test suite and the benchmark, not merely
+within tolerance.
+
+The other entry points:
+
+* :meth:`Circuit.evaluate` with ``overrides`` — full probability under
+  replaced per-variable distributions, without re-decomposition;
+* :meth:`Circuit.evaluate_sweep` — one variable's alternative swept over a
+  grid of probabilities (the other alternatives rescaled proportionally),
+  vectorised over the grid with numpy when available;
+* :meth:`Circuit.gradient` — reverse-mode ``∂P/∂w`` for every weight slot the
+  circuit touches, one backward pass;
+* :meth:`Circuit.sensitivity` — ``dP/dp`` under the sweep's
+  reparameterisation (the scalar derivative a what-if user wants);
+* :meth:`Circuit.rebind` — survive a world-table replacement (conditioning)
+  when the circuit's variables kept their distributions, retargeting packed
+  ids when the id space shifted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.vector import HAVE_NUMPY
+from repro.core.vector import np as _np
+from repro.db.world_table import PROBABILITY_TOLERANCE
+from repro.errors import (
+    InvalidDistributionError,
+    UnknownValueError,
+    UnknownVariableError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Mapping, Sequence
+
+    from repro.core.interned import InternedSpace, PackedDescriptor
+    from repro.db.world_table import Value, Variable
+
+#: Node kinds (first element of every node tuple).
+CONST = 0  # (CONST, value)
+IE = 1  # (IE, terms) with terms = ((positive, packed_slots), ...)
+SUM = 2  # (SUM, var_id, certain, branches, absent_ids, absent_child,
+#          use_fold, present) — see CircuitRecorder for the field semantics
+PROD = 3  # (PROD, children)
+
+
+def _sequential_fold(weights_row, absent_ids) -> float:
+    """Sequential absent-weight fold (the engine's small-domain order)."""
+    total = 0.0
+    for value_id in absent_ids:
+        total += weights_row[value_id]
+    return total
+
+
+def _numpy_fold(weights_row, present) -> float:
+    """The engine's large-domain fold: numpy reduction over absent values."""
+    from repro.core.vector import fold_absent_weight
+
+    return fold_absent_weight(weights_row, list(present))
+
+
+class Circuit:
+    """One recorded decomposition, re-evaluatable under new weights.
+
+    Instances are produced by
+    :class:`~repro.circuit.recorder.CircuitRecorder` (via
+    :meth:`~repro.core.engine.EngineHandle.compile` /
+    :meth:`~repro.db.session.Session.compile`); the constructor only wires the
+    recorded pieces together.  ``nodes`` is in topological order (children
+    before parents, the root last among its cone), so evaluation is a single
+    forward pass and the gradient a single backward pass.
+    """
+
+    __slots__ = (
+        "space",
+        "nodes",
+        "root",
+        "source",
+        "key",
+        "variable_ids",
+        "var_mask",
+    )
+
+    def __init__(
+        self,
+        space: "InternedSpace",
+        nodes: list[tuple],
+        root: int,
+        source: "tuple[PackedDescriptor, ...]",
+        variable_ids: frozenset[int],
+    ) -> None:
+        self.space = space
+        self.nodes = nodes
+        self.root = root
+        #: The simplified interned ws-set this circuit was recorded from, in
+        #: entry order (dedup + subsumption already applied).
+        self.source = source
+        #: Cache key: the order-insensitive canonical form of :attr:`source`.
+        self.key: tuple = tuple(sorted(source))
+        #: Dense ids of every variable the circuit reads a weight of.
+        self.variable_ids = variable_ids
+        #: Bitmask with bit ``variable_id`` set for each used variable; the
+        #: cache invalidation test "does conditioning touch this circuit?"
+        #: is one integer AND against the touched-variable mask.
+        mask = 0
+        for variable_id in variable_ids:
+            mask |= 1 << variable_id
+        self.var_mask = mask
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def variables(self) -> "frozenset[Variable]":
+        """The (external) variables whose weights this circuit reads."""
+        return frozenset(self.space.variables[vid] for vid in self.variable_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({len(self.nodes)} nodes, {len(self.source)} descriptors, "
+            f"{len(self.variable_ids)} variables)"
+        )
+
+    # ------------------------------------------------------------------
+    # Weight rows
+    # ------------------------------------------------------------------
+    def _rows(self, overrides: "Mapping[Variable, Mapping[Value, float]] | None"):
+        """Per-variable weight rows: the space's, with validated replacements.
+
+        Overrides are complete distributions over the variable's *recorded*
+        domain — same value set, probabilities summing to one within the
+        world-table tolerance — so an override row is exactly the row a
+        rebuilt world table would intern.
+        """
+        space = self.space
+        rows = space.weights
+        if not overrides:
+            return rows
+        rows = list(rows)
+        for variable, distribution in overrides.items():
+            variable_id = space.variable_ids.get(variable)
+            if variable_id is None:
+                raise UnknownVariableError(variable)
+            rows[variable_id] = self._validated_row(variable_id, distribution)
+        return rows
+
+    def _validated_row(self, variable_id: int, distribution) -> list[float]:
+        space = self.space
+        value_ids = space.value_ids[variable_id]
+        domain = space.values[variable_id]
+        row = [0.0] * len(domain)
+        seen = 0
+        total = 0.0
+        for value, probability in distribution.items():
+            value_id = value_ids.get(value)
+            if value_id is None:
+                raise UnknownValueError(space.variables[variable_id], value)
+            probability = float(probability)
+            if probability < 0.0:
+                raise InvalidDistributionError(
+                    f"negative probability {probability} for "
+                    f"{space.variables[variable_id]!r} -> {value!r}"
+                )
+            row[value_id] = probability
+            total += probability
+            seen += 1
+        if seen != len(domain):
+            raise InvalidDistributionError(
+                f"override for variable {space.variables[variable_id]!r} must "
+                f"cover its full domain ({len(domain)} alternatives, got {seen})"
+            )
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE * max(1, len(domain)):
+            raise InvalidDistributionError(
+                f"override alternatives of variable "
+                f"{space.variables[variable_id]!r} sum to {total}, expected 1"
+            )
+        return row
+
+    # ------------------------------------------------------------------
+    # Scalar evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        overrides: "Mapping[Variable, Mapping[Value, float]] | None" = None,
+    ) -> float:
+        """The circuit's probability, optionally under replaced distributions.
+
+        Without ``overrides`` this is bit-identical to the engine evaluation
+        the circuit was recorded from; with them it equals (to the last bit,
+        in practice) a fresh decomposition over a world table carrying the
+        overridden distributions — without paying for that decomposition.
+        """
+        return self._forward(self._rows(overrides))[self.root]
+
+    def _forward(self, rows) -> list[float]:
+        """One topological evaluation pass; returns the per-node values."""
+        shift = self.space.shift
+        mask = self.space.mask
+        values: list[float] = [0.0] * len(self.nodes)
+        for index, node in enumerate(self.nodes):
+            kind = node[0]
+            if kind == SUM:
+                (_, var_id, certain, branches, absent_ids, absent_child,
+                 use_fold, present) = node
+                row = rows[var_id]
+                acc = 0.0
+                for value_id in certain:
+                    acc += row[value_id]
+                for value_id, child in branches:
+                    acc += row[value_id] * values[child]
+                if absent_child is not None:
+                    if use_fold:
+                        coefficient = _numpy_fold(row, present)
+                    else:
+                        coefficient = _sequential_fold(row, absent_ids)
+                    acc += coefficient * values[absent_child]
+                values[index] = acc
+            elif kind == IE:
+                total = 0.0
+                for positive, slots in node[1]:
+                    product = 1.0
+                    for packed in slots:
+                        product *= rows[packed >> shift][packed & mask]
+                    if positive:
+                        total += product
+                    else:
+                        total -= product
+                values[index] = total
+            elif kind == PROD:
+                complement = 1.0
+                for child in node[1]:
+                    complement *= 1.0 - values[child]
+                values[index] = 1.0 - complement
+            else:  # CONST
+                values[index] = node[1]
+        return values
+
+    # ------------------------------------------------------------------
+    # What-if sweeps
+    # ------------------------------------------------------------------
+    def _sweep_target(self, variable, value) -> tuple[int, int]:
+        space = self.space
+        variable_id = space.variable_ids.get(variable)
+        if variable_id is None:
+            raise UnknownVariableError(variable)
+        domain = space.values[variable_id]
+        if len(domain) < 2:
+            raise InvalidDistributionError(
+                f"cannot sweep variable {variable!r}: its domain has a single "
+                f"alternative, whose probability is fixed at 1"
+            )
+        if value is None:
+            # Boolean variables built via add_boolean list True first, so the
+            # default sweeps "the tuple is present"; general variables default
+            # to their first alternative.
+            value = domain[0]
+        value_id = space.value_ids[variable_id].get(value)
+        if value_id is None:
+            raise UnknownValueError(variable, value)
+        return variable_id, value_id
+
+    def _sweep_row(self, variable_id: int, value_id: int, p: float) -> list[float]:
+        """The variable's distribution with ``value_id`` forced to ``p``.
+
+        The remaining alternatives share the leftover mass ``1 − p`` in
+        proportion to their baseline weights; when the swept alternative held
+        *all* the baseline mass the leftover is spread uniformly (there is no
+        proportion to preserve).
+        """
+        baseline = self.space.weights[variable_id]
+        p0 = baseline[value_id]
+        rest = 1.0 - p0
+        row = [0.0] * len(baseline)
+        if rest > 0.0:
+            scale = (1.0 - p) / rest
+            for index, weight in enumerate(baseline):
+                row[index] = weight * scale
+        else:
+            share = (1.0 - p) / (len(baseline) - 1)
+            for index in range(len(baseline)):
+                row[index] = share
+        row[value_id] = p
+        return row
+
+    def evaluate_sweep(
+        self,
+        variable: "Variable",
+        ps: "Sequence[float]",
+        *,
+        value: "Value | None" = None,
+    ) -> list[float]:
+        """The circuit's probability at each point of a what-if sweep.
+
+        Point ``i`` answers "what if ``P({variable -> value}) = ps[i]``?",
+        with the variable's other alternatives rescaled proportionally to
+        keep the distribution normalised.  ``value`` defaults to the
+        variable's first alternative (``True`` for ``add_boolean`` variables).
+        With numpy available all points are evaluated in one vectorised
+        forward pass (the swept variable's weights become arrays, every other
+        node value stays scalar and broadcasts); the fallback evaluates
+        point-by-point and returns the same values within float tolerance.
+        """
+        variable_id, value_id = self._sweep_target(variable, value)
+        points = [float(p) for p in ps]
+        if not points:
+            return []
+        for p in points:
+            if not 0.0 <= p <= 1.0:
+                raise InvalidDistributionError(
+                    f"sweep probabilities must lie in [0, 1], got {p}"
+                )
+        if not HAVE_NUMPY:
+            results = []
+            for p in points:
+                rows = list(self.space.weights)
+                rows[variable_id] = self._sweep_row(variable_id, value_id, p)
+                results.append(self._forward(rows)[self.root])
+            return results
+        return self._vector_sweep(variable_id, value_id, points)
+
+    def _sweep_columns(self, variable_id: int, value_id: int, points):
+        """Per-value-id weight arrays of the swept variable (numpy path)."""
+        baseline = self.space.weights[variable_id]
+        ps = _np.asarray(points, dtype=_np.float64)
+        p0 = baseline[value_id]
+        rest = 1.0 - p0
+        if rest > 0.0:
+            scale = (1.0 - ps) / rest
+            columns = [weight * scale for weight in baseline]
+        else:
+            share = (1.0 - ps) / (len(baseline) - 1)
+            columns = [share for _ in baseline]
+        columns[value_id] = ps
+        return columns
+
+    def _vector_sweep(
+        self, variable_id: int, value_id: int, points: list[float]
+    ) -> list[float]:
+        """One forward pass with the swept variable's weights as arrays.
+
+        Node values are scalars until they depend on the swept variable and
+        arrays of ``len(points)`` afterwards; numpy broadcasting makes the
+        mixed arithmetic free of special cases.  This is the layer that lets
+        ``core/vector.py``'s array folds run end-to-end: a thousand-point
+        sweep is a handful of vector operations per circuit node.
+        """
+        space = self.space
+        shift = space.shift
+        mask = space.mask
+        columns = self._sweep_columns(variable_id, value_id, points)
+        swept_absent: dict[tuple, object] = {}
+        values: list = [0.0] * len(self.nodes)
+        for index, node in enumerate(self.nodes):
+            kind = node[0]
+            if kind == SUM:
+                (_, var_id, certain, branches, absent_ids, absent_child,
+                 use_fold, present) = node
+                if var_id == variable_id:
+                    acc = 0.0
+                    for vid in certain:
+                        acc = acc + columns[vid]
+                    for vid, child in branches:
+                        acc = acc + columns[vid] * values[child]
+                    if absent_child is not None:
+                        coefficient = swept_absent.get(absent_ids)
+                        if coefficient is None:
+                            coefficient = 0.0
+                            for vid in absent_ids:
+                                coefficient = coefficient + columns[vid]
+                            swept_absent[absent_ids] = coefficient
+                        acc = acc + coefficient * values[absent_child]
+                    values[index] = acc
+                    continue
+                row = space.weights[var_id]
+                acc = 0.0
+                for vid in certain:
+                    acc += row[vid]
+                for vid, child in branches:
+                    acc = acc + row[vid] * values[child]
+                if absent_child is not None:
+                    if use_fold:
+                        coefficient = _numpy_fold(row, present)
+                    else:
+                        coefficient = _sequential_fold(row, absent_ids)
+                    acc = acc + coefficient * values[absent_child]
+                values[index] = acc
+            elif kind == IE:
+                total = 0.0
+                for positive, slots in node[1]:
+                    product = 1.0
+                    for packed in slots:
+                        var_id = packed >> shift
+                        if var_id == variable_id:
+                            product = product * columns[packed & mask]
+                        else:
+                            product = product * space.weights[var_id][packed & mask]
+                    total = total + product if positive else total - product
+                values[index] = total
+            elif kind == PROD:
+                complement = 1.0
+                for child in node[1]:
+                    complement = complement * (1.0 - values[child])
+                values[index] = 1.0 - complement
+            else:  # CONST
+                values[index] = node[1]
+        root = _np.asarray(values[self.root], dtype=_np.float64)
+        if root.ndim == 0:  # the swept variable never fed the root's cone
+            root = _np.full(len(points), float(root))
+        return [float(entry) for entry in root]
+
+    # ------------------------------------------------------------------
+    # Gradients / sensitivities
+    # ------------------------------------------------------------------
+    def gradient(
+        self,
+        overrides: "Mapping[Variable, Mapping[Value, float]] | None" = None,
+    ) -> "dict[tuple[Variable, Value], float]":
+        """``∂P/∂w`` for every weight slot the circuit reads, one backward pass.
+
+        The partials treat the slots as free parameters (no normalisation
+        constraint between a variable's alternatives — use
+        :meth:`sensitivity` for the constrained scalar derivative).  Slots the
+        circuit never touches have derivative zero and are omitted.
+        """
+        rows = self._rows(overrides)
+        values = self._forward(rows)
+        shift = self.space.shift
+        mask = self.space.mask
+        adjoints = [0.0] * len(self.nodes)
+        adjoints[self.root] = 1.0
+        gradient: dict[int, float] = {}
+        for index in range(len(self.nodes) - 1, -1, -1):
+            adjoint = adjoints[index]
+            if adjoint == 0.0:
+                continue
+            node = self.nodes[index]
+            kind = node[0]
+            if kind == SUM:
+                (_, var_id, certain, branches, absent_ids, absent_child,
+                 use_fold, present) = node
+                row = rows[var_id]
+                base = var_id << shift
+                for value_id in certain:
+                    slot = base | value_id
+                    gradient[slot] = gradient.get(slot, 0.0) + adjoint
+                for value_id, child in branches:
+                    slot = base | value_id
+                    gradient[slot] = gradient.get(slot, 0.0) + adjoint * values[child]
+                    adjoints[child] += adjoint * row[value_id]
+                if absent_child is not None:
+                    child_value = values[absent_child]
+                    coefficient = 0.0
+                    for value_id in absent_ids:
+                        slot = base | value_id
+                        gradient[slot] = (
+                            gradient.get(slot, 0.0) + adjoint * child_value
+                        )
+                        coefficient += row[value_id]
+                    adjoints[absent_child] += adjoint * coefficient
+            elif kind == IE:
+                for positive, slots in node[1]:
+                    sign = adjoint if positive else -adjoint
+                    count = len(slots)
+                    # ∂(Π w_i)/∂w_j = Π_{i≠j} w_i via prefix/suffix products
+                    # (no division, so zero weights are safe).
+                    prefix = [1.0] * (count + 1)
+                    for position, packed in enumerate(slots):
+                        prefix[position + 1] = (
+                            prefix[position] * rows[packed >> shift][packed & mask]
+                        )
+                    suffix = 1.0
+                    for position in range(count - 1, -1, -1):
+                        packed = slots[position]
+                        gradient[packed] = (
+                            gradient.get(packed, 0.0)
+                            + sign * prefix[position] * suffix
+                        )
+                        suffix *= rows[packed >> shift][packed & mask]
+            elif kind == PROD:
+                children = node[1]
+                count = len(children)
+                prefix = [1.0] * (count + 1)
+                for position, child in enumerate(children):
+                    prefix[position + 1] = prefix[position] * (1.0 - values[child])
+                suffix = 1.0
+                for position in range(count - 1, -1, -1):
+                    child = children[position]
+                    adjoints[child] += adjoint * prefix[position] * suffix
+                    suffix *= 1.0 - values[child]
+            # CONST: nothing flows further.
+        space = self.space
+        return {
+            space.unpack(slot): value for slot, value in gradient.items()
+        }
+
+    def sensitivity(
+        self,
+        variable: "Variable",
+        *,
+        value: "Value | None" = None,
+    ) -> float:
+        """``dP/dp`` at the baseline, under the sweep's reparameterisation.
+
+        This is the derivative of :meth:`evaluate_sweep`'s curve at the
+        variable's current probability: the swept alternative moves by
+        ``dp``, the other alternatives absorb ``−dp`` in proportion to their
+        baseline weights.  Computed exactly from :meth:`gradient` by the
+        chain rule, not by finite differences.
+        """
+        variable_id, value_id = self._sweep_target(variable, value)
+        space = self.space
+        baseline = space.weights[variable_id]
+        p0 = baseline[value_id]
+        rest = 1.0 - p0
+        gradient = self.gradient()
+        variable_obj = space.variables[variable_id]
+        domain = space.values[variable_id]
+        total = gradient.get((variable_obj, domain[value_id]), 0.0)
+        for index, weight in enumerate(baseline):
+            if index == value_id:
+                continue
+            partial = gradient.get((variable_obj, domain[index]), 0.0)
+            if rest > 0.0:
+                total -= partial * (weight / rest)
+            else:
+                total -= partial / (len(baseline) - 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Rebinding across world-table replacements
+    # ------------------------------------------------------------------
+    def rebind(self, new_space: "InternedSpace") -> bool:
+        """Retarget the circuit at a new interned space, if still valid.
+
+        Returns ``True`` when every variable the circuit reads exists in the
+        new space with an **identical** domain and distribution (conditioning
+        did not touch it) — retargeting packed ids in place when the dense
+        id assignment or the packing shift changed.  Returns ``False`` when
+        any used variable was touched; the caller must drop the circuit and
+        recompile.
+        """
+        old = self.space
+        if new_space is old:
+            return True
+        variable_map: dict[int, int] = {}
+        for variable_id in self.variable_ids:
+            variable = old.variables[variable_id]
+            new_id = new_space.variable_ids.get(variable)
+            if new_id is None:
+                return False
+            if old.values[variable_id] != new_space.values[new_id]:
+                return False
+            if old.weights[variable_id] != new_space.weights[new_id]:
+                return False
+            variable_map[variable_id] = new_id
+        if new_space.shift == old.shift and all(
+            new_id == variable_id for variable_id, new_id in variable_map.items()
+        ):
+            # Same packing, same ids: adopt the new space wholesale.
+            self.space = new_space
+            return True
+        self._retarget(new_space, variable_map)
+        return True
+
+    def _retarget(
+        self, new_space: "InternedSpace", variable_map: dict[int, int]
+    ) -> None:
+        """Rewrite packed ids for a changed id assignment or shift.
+
+        Value ids are stable (identical domains keep their insertion order),
+        so only the variable part of each packed slot moves.  IE slot tuples
+        are re-sorted under the new packing so their products run in the
+        order a fresh engine over the new space would use.
+        """
+        old_shift = self.space.shift
+        old_mask = self.space.mask
+        new_shift = new_space.shift
+
+        def repack(packed: int) -> int:
+            return (variable_map[packed >> old_shift] << new_shift) | (
+                packed & old_mask
+            )
+
+        nodes = self.nodes
+        for index, node in enumerate(nodes):
+            kind = node[0]
+            if kind == IE:
+                nodes[index] = (
+                    IE,
+                    tuple(
+                        (positive, tuple(sorted(repack(p) for p in slots)))
+                        for positive, slots in node[1]
+                    ),
+                )
+            elif kind == SUM:
+                nodes[index] = (SUM, variable_map[node[1]], *node[2:])
+        self.source = tuple(
+            tuple(sorted(repack(packed) for packed in descriptor))
+            for descriptor in self.source
+        )
+        self.key = tuple(sorted(self.source))
+        self.variable_ids = frozenset(
+            variable_map[variable_id] for variable_id in self.variable_ids
+        )
+        mask = 0
+        for variable_id in self.variable_ids:
+            mask |= 1 << variable_id
+        self.var_mask = mask
+        self.space = new_space

@@ -67,10 +67,14 @@ from repro.core.interned import (
 )
 from repro.core.probability import ExactConfig, LegacyProbabilityEngine, make_engine
 from repro.core.procpool import ProcessPoolBackend
+from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Sequence
+
+    from repro.circuit import Circuit
     from repro.core.wsset import WSSet
-    from repro.db.world_table import WorldTable
+    from repro.db.world_table import Value, Variable, WorldTable
 
 #: Fewer descriptors than this never go through the worker pool: dispatch
 #: latency exceeds the evaluation cost of tiny components.
@@ -120,6 +124,14 @@ class EngineStats:
     after a broken pool and ``pools_rebuilt`` the broken pools themselves —
     both stay 0 unless workers actually died (see
     :class:`~repro.core.procpool.ProcessPoolBackend`).
+
+    The ``circuit_*`` family tracks the compile-once / evaluate-many layer:
+    ``circuits_compiled`` decompositions recorded into circuits,
+    ``circuit_cache_hits`` compile requests answered from the handle's
+    circuit cache (including circuits that survived a world-table
+    replacement via rebinding), ``circuit_evals`` what-if evaluations
+    answered from circuits, and ``circuit_compile_time`` /
+    ``circuit_eval_time`` their summed wall-clock seconds.
     """
 
     computations: int = 0
@@ -136,6 +148,11 @@ class EngineStats:
     worker_utilisation: float = 0.0
     worker_retries: int = 0
     pools_rebuilt: int = 0
+    circuits_compiled: int = 0
+    circuit_cache_hits: int = 0
+    circuit_evals: int = 0
+    circuit_compile_time: float = 0.0
+    circuit_eval_time: float = 0.0
 
     @property
     def memo_hit_rate(self) -> float:
@@ -197,6 +214,17 @@ class EngineHandle:
         self._parallel_components = 0
         self._parallel_busy_time = 0.0
         self._parallel_wall_time = 0.0
+        # Compiled lineage circuits, keyed by the canonical (sorted) interned
+        # descriptor tuple of their simplified source ws-set.  Survives
+        # _retire(): a world-table replacement flows into _refresh_circuits,
+        # which keeps circuits whose variables the change did not touch.
+        self._circuit_cache: dict[tuple, "Circuit"] = {}
+        self._circuit_space = None
+        self._circuits_compiled = 0
+        self._circuit_cache_hits = 0
+        self._circuit_evals = 0
+        self._circuit_compile_time = 0.0
+        self._circuit_eval_time = 0.0
 
     # ------------------------------------------------------------------
     # Binding / staleness
@@ -229,9 +257,19 @@ class EngineHandle:
                 self._retire()
 
     def invalidate(self) -> None:
-        """Drop the current engine (and its memo); it is rebuilt lazily."""
+        """Drop the current engine (and its memo); it is rebuilt lazily.
+
+        Compiled circuits are dropped too — this is the explicit
+        "cold everything" entry point.  A world-table *replacement*
+        (conditioning) does **not** come through here: it retires the engine
+        via :meth:`rebind` but keeps the circuit cache, whose entries are
+        then selectively revalidated against the new interned space (a
+        circuit survives iff the change did not touch its variables).
+        """
         with self._lock:
             self._retire()
+            self._circuit_cache.clear()
+            self._circuit_space = None
 
     def close(self) -> None:
         """Shut down the worker pool and disable parallel evaluation.
@@ -364,6 +402,226 @@ class EngineHandle:
             max_calls if max_calls is not None else self.config.max_calls,
             time_limit if time_limit is not None else self.config.time_limit,
         )
+
+    # ------------------------------------------------------------------
+    # Batched computation (the confidence_batch fan-out)
+    # ------------------------------------------------------------------
+    def probability_many(
+        self,
+        ws_sets: "Sequence[WSSet]",
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> list[float]:
+        """Exact probabilities of several ws-sets, fanned out when possible.
+
+        On the process executor the whole batch becomes **one** pool
+        dispatch: every group is interned and memo-checked under the lock,
+        the union of uncached components across *all* groups ships to the
+        worker pool in a single :meth:`ProcessPoolBackend.compute` call (lock
+        released), and each group merges its component values in
+        deterministic order — bit-identical to evaluating the groups one by
+        one, but with cross-group parallelism instead of per-group dispatch
+        latency.  Other executors (and non-interned configs) fall back to a
+        serial loop over :meth:`probability`.
+        """
+        targets = list(ws_sets)
+        if not targets:
+            return []
+        config = self.config
+        pooled = (
+            self._workers
+            and not self._closed
+            and self._executor_name == "process"
+            and config.engine == "interned"
+            and config.use_independent_partitioning
+        )
+        if not pooled:
+            return [
+                self.probability(target, max_calls=max_calls, time_limit=time_limit)
+                for target in targets
+            ]
+        # Workers re-arm plain Budgets from what they receive, so config-level
+        # limits must be folded in here (as in _process_probability).
+        if max_calls is None:
+            max_calls = config.max_calls
+        if time_limit is None:
+            time_limit = config.time_limit
+        started = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                return [
+                    self._timed(
+                        lambda engine, t=target: engine.compute_wsset(t),
+                        max_calls,
+                        time_limit,
+                    )
+                    for target in targets
+                ]
+            engine = self.engine()
+            space = engine.space
+            cache = engine.cache if engine.memoize else None
+            groups: list[list[float]] = []
+            jobs: list[tuple[int, int, tuple | None, list]] = []
+            for group_index, target in enumerate(targets):
+                interned = deduplicate_interned(space.intern_wsset(target))
+                if config.simplify_subsumed:
+                    interned = remove_subsumed_interned(interned)
+                if not interned:
+                    groups.append([0.0])
+                    continue
+                if () in interned:
+                    groups.append([1.0])
+                    continue
+                if len(interned) < _MIN_PARALLEL_DESCRIPTORS:
+                    # Tiny groups never pay the IPC round trip — and, like
+                    # `_process_probability`, stay on the engine's own entry
+                    # path (closed form before component split), keeping the
+                    # batch bit-identical to a per-group serial loop.
+                    engine.reset_budget(self._budget(max_calls, time_limit))
+                    groups.append([engine.run(list(interned))])
+                    continue
+                components = engine.components_of(interned)
+                slots = [0.0] * len(components)
+                for index, component in enumerate(components):
+                    key = tuple(sorted(component)) if cache is not None else None
+                    if key is not None:
+                        hit = cache.get(key)
+                        if hit is not None:
+                            engine.cache_hits += 1
+                            slots[index] = hit
+                            continue
+                    jobs.append((group_index, index, key, component))
+                groups.append(slots)
+            backend = self._ensure_backend() if jobs else None
+        busy = 0.0
+        computed: list[tuple[float, float]] = []
+        try:
+            if backend is not None:
+                computed = backend.compute(
+                    space,
+                    config,
+                    [component for _, _, _, component in jobs],
+                    max_calls,
+                    time_limit,
+                )
+                busy = sum(seconds for _, seconds in computed)
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._wall_time += elapsed
+                self._parallel_wall_time += elapsed
+                self._parallel_busy_time += busy
+                self._computations += len(targets)
+                self._parallel_computations += 1
+                self._parallel_components += len(jobs)
+        with self._lock:
+            for (group_index, index, key, _component), (value, _seconds) in zip(
+                jobs, computed
+            ):
+                groups[group_index][index] = value
+                if key is not None:
+                    cache[key] = value
+        results = []
+        for slots in groups:
+            if len(slots) == 1:
+                results.append(slots[0])
+                continue
+            complement = 1.0
+            for value in slots:
+                complement *= 1.0 - value
+            results.append(1.0 - complement)
+        return results
+
+    # ------------------------------------------------------------------
+    # Compiled circuits (compile-once / evaluate-many)
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        ws_set: "WSSet",
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> "Circuit":
+        """The compiled lineage circuit of a ws-set (cached by structure).
+
+        The ws-set is interned and simplified exactly as an evaluation would;
+        the canonical descriptor tuple keys the handle's circuit cache.  A
+        miss records the decomposition once (budgeted like a computation);
+        every later compile of a structurally identical ws-set — and every
+        :meth:`what_if` sweep — reuses the circuit.  After a world-table
+        replacement cached circuits are revalidated lazily: circuits whose
+        variables kept their distributions are retargeted and kept, touched
+        ones are dropped and recompiled on demand.
+        """
+        if self.config.engine != "interned":
+            raise QueryError(
+                "circuit compilation requires the interned engine "
+                f"(config.engine={self.config.engine!r})"
+            )
+        from repro.circuit import CircuitRecorder
+
+        with self._lock:
+            engine = self.engine()
+            space = engine.space
+            if self._circuit_space is not space:
+                self._refresh_circuits(space)
+            interned = deduplicate_interned(space.intern_wsset(ws_set))
+            if self.config.simplify_subsumed:
+                interned = remove_subsumed_interned(interned)
+            key = tuple(sorted(interned))
+            circuit = self._circuit_cache.get(key)
+            if circuit is not None:
+                self._circuit_cache_hits += 1
+                return circuit
+            engine.reset_budget(self._budget(max_calls, time_limit))
+            started = time.perf_counter()
+            circuit = CircuitRecorder(engine).record(interned)
+            self._circuit_compile_time += time.perf_counter() - started
+            self._circuits_compiled += 1
+            self._circuit_cache[key] = circuit
+            return circuit
+
+    def _refresh_circuits(self, space) -> None:
+        """Revalidate every cached circuit against a new interned space.
+
+        Runs once per world-table change, on the next compile/what-if.  Each
+        circuit either survives (its variables' distributions are unchanged —
+        ids are retargeted in place when the dense id assignment moved) or is
+        dropped for recompilation.  This is the selective invalidation that
+        makes conditioning cheap for sweep workloads touching other parts of
+        the table.
+        """
+        survivors: dict[tuple, "Circuit"] = {}
+        for circuit in self._circuit_cache.values():
+            if circuit.rebind(space):
+                survivors[circuit.key] = circuit
+        self._circuit_cache = survivors
+        self._circuit_space = space
+
+    def what_if(
+        self,
+        ws_set: "WSSet",
+        variable: "Variable",
+        ps: "Sequence[float]",
+        *,
+        value: "Value | None" = None,
+    ) -> list[float]:
+        """What-if sweep: the ws-set's probability at each point of ``ps``.
+
+        Compiles (or fetches) the circuit for the ws-set, then evaluates the
+        sweep without re-decomposition — ``P({variable -> value})`` takes
+        each value of ``ps`` in turn, the variable's other alternatives
+        rescaled proportionally.  See :meth:`Circuit.evaluate_sweep`.
+        """
+        with self._lock:
+            circuit = self.compile(ws_set)
+            started = time.perf_counter()
+            try:
+                return circuit.evaluate_sweep(variable, ps, value=value)
+            finally:
+                self._circuit_eval_time += time.perf_counter() - started
+                self._circuit_evals += 1
 
     # ------------------------------------------------------------------
     # Parallel ⊗-components
@@ -616,6 +874,11 @@ class EngineHandle:
             worker_utilisation=utilisation,
             worker_retries=backend.chunk_retries if backend is not None else 0,
             pools_rebuilt=backend.pools_broken if backend is not None else 0,
+            circuits_compiled=self._circuits_compiled,
+            circuit_cache_hits=self._circuit_cache_hits,
+            circuit_evals=self._circuit_evals,
+            circuit_compile_time=self._circuit_compile_time,
+            circuit_eval_time=self._circuit_eval_time,
         )
 
     def __repr__(self) -> str:

@@ -309,6 +309,36 @@ def count_occurrences_interned(
     return occurrences
 
 
+def merge_interned(
+    d1: PackedDescriptor, d2: PackedDescriptor, shift: int
+) -> PackedDescriptor | None:
+    """The conjunction ``d1 ∧ d2`` as a sorted tuple, or ``None`` if mutex.
+
+    Two descriptors are mutually exclusive when they assign the same variable
+    different values; then their conjunction holds in no world.
+    """
+    merged: list[Packed] = []
+    i = j = 0
+    n1, n2 = len(d1), len(d2)
+    while i < n1 and j < n2:
+        a, b = d1[i], d2[j]
+        if a == b:
+            merged.append(a)
+            i += 1
+            j += 1
+        elif a >> shift == b >> shift:
+            return None  # same variable, different value: disjoint worlds
+        elif a < b:
+            merged.append(a)
+            i += 1
+        else:
+            merged.append(b)
+            j += 1
+    merged.extend(d1[i:])
+    merged.extend(d2[j:])
+    return tuple(merged)
+
+
 # ----------------------------------------------------------------------
 # The iterative engine
 # ----------------------------------------------------------------------
@@ -443,6 +473,39 @@ class InternedEngine:
         """
         return self._numpy_threshold if self._vector_minlog else None
 
+    @property
+    def weight_fold_threshold(self) -> int | None:
+        """Domain size at which ⊕-weight folds switch to the numpy reduction.
+
+        ``None`` when numpy is unavailable or vectorisation is disabled.
+        The circuit recorder replicates this dispatch so recorded ⊕-nodes
+        accumulate their absent-value weights in the engine's exact order
+        (numpy pairwise summation differs from a sequential fold in the last
+        bits, and the circuit promises bit-identical baseline values).
+        """
+        return self._numpy_threshold
+
+    def select_variable_id(
+        self, occurrences: dict[int, dict[int, int]], descriptor_count: int
+    ) -> int:
+        """The variable the engine would eliminate next at a ⊕-node.
+
+        This is the full selection dispatch of :meth:`_expand` — single
+        candidate short-circuit, vectorised minlog above the numpy threshold,
+        configured heuristic otherwise — shared with the circuit recorder so
+        recorded decompositions are structurally identical to evaluated ones.
+        The choice depends only on occurrence counts and domain sizes, never
+        on the weights themselves, which is what makes a recorded circuit
+        valid under arbitrary re-weightings.
+        """
+        if len(occurrences) == 1:
+            return next(iter(occurrences))
+        if self._vector_minlog and len(occurrences) >= self._numpy_threshold:
+            return minlog_select_vectorized(occurrences, descriptor_count, self.space)
+        return self.heuristic.select_variable(
+            occurrences, descriptor_count, self.space
+        )
+
     # -- public entry points --------------------------------------------
     def compute_wsset(self, ws_set: "WSSet") -> float:
         """Probability of a :class:`WSSet` (interns, simplifies, evaluates)."""
@@ -557,16 +620,7 @@ class InternedEngine:
 
         # ⊕-node: eliminate a variable.
         occurrences = count_occurrences_interned(descriptors, shift, space.mask)
-        if len(occurrences) == 1:
-            variable_id = next(iter(occurrences))
-        elif self._vector_minlog and len(occurrences) >= self._numpy_threshold:
-            variable_id = minlog_select_vectorized(
-                occurrences, len(descriptors), space
-            )
-        else:
-            variable_id = self.heuristic.select_variable(
-                occurrences, len(descriptors), space
-            )
+        variable_id = self.select_variable_id(occurrences, len(descriptors))
         if self.record_elimination_order:
             stats.eliminated_variables.append(space.variables[variable_id])
         stats.variable_nodes += 1
@@ -637,27 +691,7 @@ class InternedEngine:
         self, d1: PackedDescriptor, d2: PackedDescriptor
     ) -> PackedDescriptor | None:
         """The conjunction ``d1 ∧ d2`` as a sorted tuple, or ``None`` if mutex."""
-        shift = self.space.shift
-        merged: list[Packed] = []
-        i = j = 0
-        n1, n2 = len(d1), len(d2)
-        while i < n1 and j < n2:
-            a, b = d1[i], d2[j]
-            if a == b:
-                merged.append(a)
-                i += 1
-                j += 1
-            elif a >> shift == b >> shift:
-                return None  # same variable, different value: disjoint worlds
-            elif a < b:
-                merged.append(a)
-                i += 1
-            else:
-                merged.append(b)
-                j += 1
-        merged.extend(d1[i:])
-        merged.extend(d2[j:])
-        return tuple(merged)
+        return merge_interned(d1, d2, self.space.shift)
 
     def _small_probability(self, descriptors: list[PackedDescriptor]) -> float:
         """Exact probability of a ws-set of at most :data:`_CLOSED_FORM_LIMIT` descriptors.
@@ -673,7 +707,10 @@ class InternedEngine:
         weight = self._descriptor_weight
         if count == 1:
             return weight(descriptors[0])
-        merged = self._merged
+        shift = self.space.shift
+
+        def merged(d1, d2):
+            return merge_interned(d1, d2, shift)
         conjunction: list[PackedDescriptor | None] = [None] * (1 << count)
         total = 0.0
         for subset in range(1, 1 << count):

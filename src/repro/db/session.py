@@ -62,6 +62,7 @@ from repro.db.world_table import WorldTable
 from repro.errors import BudgetExceededError, QueryError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.circuit import Circuit
     from repro.db.database import ProbabilisticDatabase
     from repro.sql.executor import QueryResult
 
@@ -485,6 +486,54 @@ class Session:
         return results
 
     # ------------------------------------------------------------------
+    # Compiled circuits: what-if sweeps without re-decomposition
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        target: "WSSet | URelation | str",
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> "Circuit":
+        """Compile the target's lineage into a reusable circuit.
+
+        The returned :class:`~repro.circuit.circuit.Circuit` re-evaluates the
+        target's confidence under arbitrary re-weightings
+        (:meth:`~repro.circuit.circuit.Circuit.evaluate`), answers what-if
+        sweeps (:meth:`~repro.circuit.circuit.Circuit.evaluate_sweep`) and
+        per-weight gradients without decomposing again.  Circuits are cached
+        on the session's engine handle by descriptor structure, so compiling
+        the same (or a structurally identical) target twice is a cache hit;
+        conditioning invalidates only the circuits whose variables it
+        touched.
+        """
+        ws_set = self._as_wsset(target)
+        self.refresh()
+        return self._handle.compile(ws_set, max_calls=max_calls, time_limit=time_limit)
+
+    def what_if(
+        self,
+        target: "WSSet | URelation | str",
+        variable,
+        ps: "Sequence[float]",
+        *,
+        value=None,
+    ) -> list[float]:
+        """The target's confidence at each point of a what-if sweep.
+
+        Point ``i`` answers "what if ``P({variable -> value})`` were
+        ``ps[i]``?" — the variable's other alternatives are rescaled
+        proportionally so the distribution stays normalised.  ``value``
+        defaults to the variable's first alternative (``True`` for
+        ``add_boolean`` variables).  The sweep runs on the compiled circuit
+        (compiling it on first use), so its cost is per-point microseconds,
+        not per-point decompositions.
+        """
+        ws_set = self._as_wsset(target)
+        self.refresh()
+        return self._handle.what_if(ws_set, variable, ps, value=value)
+
+    # ------------------------------------------------------------------
     # Batched per-tuple confidence (the conf() aggregate)
     # ------------------------------------------------------------------
     def confidence_batch(
@@ -505,6 +554,31 @@ class Session:
         grouped: dict[tuple, list] = {}
         for row in relation:
             grouped.setdefault(row.values, []).append(row.descriptor)
+        targets = [WSSet(descriptors) for descriptors in grouped.values()]
+        if (
+            method == "exact"
+            and targets
+            and self._handle.executor == "process"
+            and options.get("deadline_ms") is None
+        ):
+            # Route the whole batch through the process pool in one dispatch:
+            # the handle interns and memo-checks every tuple group under its
+            # lock, ships the union of uncached components to the worker
+            # pool in a single call, and merges per group — bit-identical to
+            # the per-group loop below, without per-group dispatch latency.
+            # (A deadline keeps the per-group path, which can degrade each
+            # group to a sampled answer inside its budget.)
+            request = ConfidenceRequest(targets[0], method, **options)
+            self.refresh()
+            values = self._handle.probability_many(
+                targets,
+                max_calls=request.max_calls,
+                time_limit=request.time_limit,
+            )
+            return [
+                ConfidenceRow(tuple_values, value)
+                for tuple_values, value in zip(grouped, values)
+            ]
         rows = []
         for values, descriptors in grouped.items():
             result = self.confidence(WSSet(descriptors), method, **options)
@@ -802,6 +876,29 @@ class AsyncSession:
             return await self.confidence(target, method, **options)
 
         return list(await asyncio.gather(*(one(target) for target in targets)))
+
+    async def compile(
+        self,
+        target: "WSSet | URelation | str",
+        *,
+        max_calls: int | None = None,
+        time_limit: float | None = None,
+    ) -> "Circuit":
+        return await self._run(
+            self.session.compile, target, max_calls=max_calls, time_limit=time_limit
+        )
+
+    async def what_if(
+        self,
+        target: "WSSet | URelation | str",
+        variable,
+        ps: "Sequence[float]",
+        *,
+        value=None,
+    ) -> list[float]:
+        return await self._run(
+            self.session.what_if, target, variable, ps, value=value
+        )
 
     async def confidence_batch(
         self, relation: "URelation | str", method: str = "exact", **options

@@ -146,6 +146,47 @@ class WorldTable:
         domain[value] = float(probability)
         self._version += 1
 
+    def set_distribution(
+        self,
+        variable: Variable,
+        distribution: Mapping[Value, float],
+        *,
+        normalize: bool = False,
+    ) -> None:
+        """Replace an existing variable's ``value -> probability`` distribution.
+
+        The what-if mutation: re-weight a variable in place (same validation
+        as :meth:`add_variable`) and bump the version counter, so engines and
+        compiled circuits bound to this table see the change.  The new
+        distribution need not cover the old domain — alternatives may be
+        added or dropped — but anything referencing dropped values will
+        (correctly) stop matching.
+        """
+        if variable not in self._alternatives:
+            raise UnknownVariableError(variable)
+        if not distribution:
+            raise InvalidDistributionError(f"variable {variable!r} has an empty domain")
+        items = dict(distribution)
+        total = float(sum(items.values()))
+        if any(p < 0 for p in items.values()):
+            raise InvalidDistributionError(
+                f"variable {variable!r} has a negative alternative probability"
+            )
+        if normalize:
+            if total <= 0:
+                raise InvalidDistributionError(
+                    f"variable {variable!r} has zero total probability; cannot normalize"
+                )
+            items = {value: p / total for value, p in items.items()}
+        elif not math.isclose(
+            total, 1.0, abs_tol=PROBABILITY_TOLERANCE * max(1, len(items))
+        ):
+            raise InvalidDistributionError(
+                f"alternatives of variable {variable!r} sum to {total}, expected 1"
+            )
+        self._alternatives[variable] = {value: float(p) for value, p in items.items()}
+        self._version += 1
+
     def remove_variable(self, variable: Variable) -> None:
         """Remove a variable and all its alternatives from the world table."""
         if variable not in self._alternatives:

@@ -3,7 +3,7 @@
 :class:`ServerSession` (blocking) and :class:`AsyncServerSession` (asyncio)
 mirror the local :class:`~repro.db.session.Session` /
 :class:`~repro.db.session.AsyncSession` surface — ``confidence``, ``query``,
-``confidence_many``, ``confidence_batch``, ``certain_tuples``,
+``confidence_many``, ``confidence_batch``, ``what_if``, ``certain_tuples``,
 ``possible_tuples``, ``execute``, ``execute_script``, ``statistics`` — so
 code written against a local session runs unchanged against a socket::
 
@@ -61,7 +61,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.engine import EngineStats
 from repro.db.confidence import ConfidenceRow
-from repro.db.session import ConfidenceRequest, ConfidenceResult
+from repro.db.session import ConfidenceRequest, ConfidenceResult, target_to_payload
 from repro.errors import (
     OverloadedError,
     ProtocolError,
@@ -254,6 +254,19 @@ class _SessionCalls:
     def _batch_args(relation: "URelation | str", method: str, options: dict) -> dict:
         name = relation if isinstance(relation, str) else relation.name
         return {"relation": name, "method": method, **options}
+
+    @staticmethod
+    def _what_if_args(
+        target: "WSSet | URelation | str", variable, ps, value
+    ) -> dict:
+        args = {
+            "target": target_to_payload(target),
+            "variable": variable,
+            "ps": [float(p) for p in ps],
+        }
+        if value is not None:
+            args["value"] = value
+        return args
 
     @staticmethod
     def _batch_rows(result: dict) -> list[ConfidenceRow]:
@@ -471,6 +484,30 @@ class ServerSession(_SessionCalls):
             if row.confidence > threshold
         ]
 
+    def what_if(
+        self,
+        target: "WSSet | URelation | str",
+        variable,
+        ps,
+        *,
+        value=None,
+        deadline_ms: float | None = None,
+    ) -> list[float]:
+        """A what-if sweep in one frame: ``P(target)`` at every point of ``ps``.
+
+        The server compiles the target's lineage into a circuit once
+        (cached across calls on the shared engine handle) and re-evaluates
+        it per point — mirroring :meth:`~repro.db.session.Session.what_if`.
+        Requires a protocol-version-3 server.  ``variable`` and ``value``
+        must be JSON-representable, like ws-set targets.
+        """
+        result = self._call(
+            "what_if",
+            self._what_if_args(target, variable, ps, value),
+            deadline_ms=deadline_ms,
+        )
+        return list(result["values"])
+
     def execute(self, sql: str) -> "QueryResult":
         return protocol.query_result_from_payload(self._call("execute", {"sql": sql}))
 
@@ -642,6 +679,23 @@ class AsyncServerSession(_SessionCalls):
             for row in await self.confidence_batch(relation, **options)
             if row.confidence > threshold
         ]
+
+    async def what_if(
+        self,
+        target: "WSSet | URelation | str",
+        variable,
+        ps,
+        *,
+        value=None,
+        deadline_ms: float | None = None,
+    ) -> list[float]:
+        """A one-frame what-if sweep (see the blocking twin)."""
+        result = await self._call(
+            "what_if",
+            self._what_if_args(target, variable, ps, value),
+            deadline_ms=deadline_ms,
+        )
+        return list(result["values"])
 
     async def execute(self, sql: str) -> "QueryResult":
         return protocol.query_result_from_payload(

@@ -35,6 +35,11 @@ Operations (see ``docs/protocol.md`` for the full schemas):
 ``confidence_batch``
     Per-tuple ``conf()`` of a named relation through
     :meth:`~repro.db.session.Session.confidence_batch`.
+``what_if`` (since version 3)
+    A what-if sweep: one target, one variable, many probability points,
+    answered in a single frame through a compiled lineage circuit
+    (:meth:`~repro.db.session.Session.what_if`) — the decomposition runs
+    once server-side, every point is a circuit re-evaluation.
 ``execute`` / ``execute_script``
     SQL through the shared session; results travel as
     :func:`query_result_to_payload` objects.
@@ -95,7 +100,7 @@ PROTOCOL_VERSION = 3
 #: but is otherwise identical, so v1 clients keep working unchanged; a v1
 #: frame asking for a v2-only operation gets the same ``unknown-op`` error an
 #: actual v1 server would send.  Version 3 (this build) adds the ``health``
-#: operation, the per-request ``deadline_ms`` frame field, and the
+#: and ``what_if`` operations, the per-request ``deadline_ms`` frame field, and the
 #: ``deadline-exceeded`` / ``overloaded`` error codes; v1/v2 frames never see
 #: any of them (``deadline_ms`` on an old frame is ignored, and old clients
 #: degrade unknown codes to :class:`~repro.errors.RemoteError`).
@@ -118,12 +123,13 @@ OPS = (
     "confidence",
     "confidence_many",
     "confidence_batch",
+    "what_if",
     "execute",
     "execute_script",
 )
 
 #: Operations that exist only from the given protocol version on.
-OPS_SINCE_VERSION = {"confidence_many": 2, "health": 3}
+OPS_SINCE_VERSION = {"confidence_many": 2, "health": 3, "what_if": 3}
 
 #: Operations a client may safely retry after a transport failure.
 #:
@@ -136,7 +142,15 @@ OPS_SINCE_VERSION = {"confidence_many": 2, "health": 3}
 #: a retry after an ambiguous failure could condition twice.  Clients that
 #: know a statement is a plain select can still retry it themselves.
 IDEMPOTENT_OPS = frozenset(
-    {"ping", "health", "stats", "confidence", "confidence_many", "confidence_batch"}
+    {
+        "ping",
+        "health",
+        "stats",
+        "confidence",
+        "confidence_many",
+        "confidence_batch",
+        "what_if",
+    }
 )
 
 #: Exception class -> wire error code, most specific classes first (the first

@@ -56,7 +56,7 @@ import time
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
-from repro.db.session import ConfidenceRequest, SessionPool
+from repro.db.session import ConfidenceRequest, SessionPool, target_from_payload
 from repro.errors import (
     DeadlineExceededError,
     OverloadedError,
@@ -89,7 +89,14 @@ _BATCH_OPTIONS = ("epsilon", "delta", "seed", "max_calls", "time_limit", "hybrid
 #: burn CPU).  ``ping`` / ``health`` / ``stats`` bypass it by design: a
 #: saturated or draining server must stay observable.
 _ADMITTED_OPS = frozenset(
-    {"confidence", "confidence_many", "confidence_batch", "execute", "execute_script"}
+    {
+        "confidence",
+        "confidence_many",
+        "confidence_batch",
+        "what_if",
+        "execute",
+        "execute_script",
+    }
 )
 
 #: Default drain grace of :meth:`ConfidenceServer.stop`, in seconds.
@@ -556,9 +563,9 @@ class ConfidenceServer:
         milliseconds as :attr:`~repro.db.session.ConfidenceRequest.deadline_ms`
         (tightening any client-set value), so an overrunning exact
         computation degrades to a Karp-Luby answer inside the deadline
-        instead of erroring.  For ``confidence_batch`` and SQL execution the
-        deadline bounds the admission wait only — their computations have no
-        mid-flight degradation path.
+        instead of erroring.  For ``confidence_batch``, ``what_if`` and SQL
+        execution the deadline bounds the admission wait only — their
+        computations have no mid-flight degradation path.
 
         The ``server.dispatch`` fault point sits at the top, *inside* the
         admission slot: a ``delay`` fault holds the request open — in flight
@@ -595,6 +602,9 @@ class ConfidenceServer:
         if op == "confidence_batch":
             async with self._gate:
                 return await self._confidence_batch(args)
+        if op == "what_if":
+            async with self._gate:
+                return await self._what_if(args)
         if op == "execute":
             sql = self._sql_of(args)
             async with self._exclusion_for(sql):
@@ -710,6 +720,37 @@ class ConfidenceServer:
                 for row in rows
             ]
         }
+
+    async def _what_if(self, args: dict) -> dict:
+        """Answer a ``what_if`` frame: one compiled sweep, many points.
+
+        The target ws-set compiles once into a lineage circuit (cached on
+        the shared engine handle, so repeated sweeps over the same lineage
+        skip even the compile) and every probability point is a circuit
+        re-evaluation — no re-decomposition, no per-point frames.
+        """
+        unknown = set(args) - {"target", "variable", "value", "ps"}
+        if unknown:
+            raise QueryError(f"unknown what_if options {sorted(unknown)}")
+        if "target" not in args:
+            raise QueryError("what_if needs a target")
+        if "variable" not in args:
+            raise QueryError("what_if needs a variable")
+        ps = args.get("ps")
+        if (
+            not isinstance(ps, list)
+            or not ps
+            or any(isinstance(p, bool) or not isinstance(p, (int, float)) for p in ps)
+        ):
+            raise QueryError(
+                f"what_if needs a non-empty list of probability points, got {ps!r}"
+            )
+        target = target_from_payload(args["target"])
+        member = self._pool.acquire()
+        values = await member.what_if(
+            target, args["variable"], ps, value=args.get("value")
+        )
+        return {"values": values, "points": len(values)}
 
     def _stats(self) -> dict:
         return {

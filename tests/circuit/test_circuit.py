@@ -1,0 +1,324 @@
+"""Lineage circuits: compile-once / evaluate-many against the engine's truth.
+
+The load-bearing invariant everywhere: a compiled
+:class:`~repro.circuit.circuit.Circuit` answers exactly what the interned
+engine answers — bit-identical at the recording weights, within 1e-12 under
+any re-weighting — because the decomposition's *structure* never depended on
+the weights in the first place.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import EngineHandle
+from repro.core.probability import ExactConfig
+from repro.core.wsset import WSSet
+from repro.db.database import ProbabilisticDatabase
+from repro.db.session import Session
+from repro.db.world_table import WorldTable
+from repro.errors import (
+    BudgetExceededError,
+    InvalidDistributionError,
+    QueryError,
+    UnknownValueError,
+    UnknownVariableError,
+)
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+
+TOLERANCE = 1e-12
+
+
+@pytest.fixture
+def world_table() -> WorldTable:
+    table = WorldTable()
+    table.add_variable("x", {1: 0.3, 2: 0.7})
+    table.add_variable("y", {1: 0.4, 2: 0.6})
+    table.add_variable("z", {1: 0.2, 2: 0.3, 3: 0.5})
+    return table
+
+
+@pytest.fixture
+def ws_set() -> WSSet:
+    return WSSet([{"x": 1}, {"y": 1, "z": 2}, {"x": 2, "z": 1}])
+
+
+def hard_instance(num_descriptors: int = 24):
+    return generate_hard_instance(
+        HardCaseParameters(
+            num_variables=16,
+            alternatives=2,
+            descriptor_length=4,
+            num_descriptors=num_descriptors,
+            seed=0,
+        )
+    )
+
+
+class TestEvaluate:
+    def test_baseline_is_bit_identical_to_confidence(self, world_table, ws_set):
+        session = Session(world_table)
+        expected = session.confidence(ws_set).value
+        circuit = session.compile(ws_set)
+        assert circuit.evaluate() == expected
+
+    def test_hard_instance_bit_identical(self):
+        instance = hard_instance()
+        session = Session(instance.world_table)
+        expected = session.confidence(instance.ws_set).value
+        assert session.compile(instance.ws_set).evaluate() == expected
+
+    def test_bit_identical_across_configs(self):
+        instance = hard_instance(16)
+        configs = [
+            ExactConfig(),
+            ExactConfig(use_independent_partitioning=False),
+            ExactConfig(subsumption_every_step=True),
+            ExactConfig(memoize=False),
+            ExactConfig(numpy_threshold=2),
+        ]
+        for config in configs:
+            session = Session(instance.world_table, config)
+            expected = session.confidence(instance.ws_set).value
+            assert session.compile(instance.ws_set).evaluate() == expected, config
+
+    def test_override_matches_fresh_session(self, world_table, ws_set):
+        session = Session(world_table)
+        circuit = session.compile(ws_set)
+        overrides = {"x": {1: 0.9, 2: 0.1}, "z": {1: 0.6, 2: 0.3, 3: 0.1}}
+
+        reference_table = WorldTable()
+        reference_table.add_variable("x", overrides["x"])
+        reference_table.add_variable("y", {1: 0.4, 2: 0.6})
+        reference_table.add_variable("z", overrides["z"])
+        expected = Session(reference_table).confidence(ws_set).value
+        assert circuit.evaluate(overrides) == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_zero_weight_branches_stay_evaluable(self):
+        # The engine would skip a zero-weight branch; the circuit records it
+        # so a re-weighting can revive it.
+        table = WorldTable()
+        table.add_variable("x", {1: 0.0, 2: 1.0})
+        table.add_variable("y", {1: 0.5, 2: 0.5})
+        ws = WSSet([{"x": 1, "y": 1}, {"y": 2}])
+        session = Session(table)
+        circuit = session.compile(ws)
+        assert circuit.evaluate() == session.confidence(ws).value
+        revived = circuit.evaluate({"x": {1: 1.0, 2: 0.0}})
+        reference = WorldTable()
+        reference.add_variable("x", {1: 1.0, 2: 0.0})
+        reference.add_variable("y", {1: 0.5, 2: 0.5})
+        assert revived == pytest.approx(
+            Session(reference).confidence(ws).value, abs=TOLERANCE
+        )
+
+    def test_override_validation(self, world_table, ws_set):
+        circuit = Session(world_table).compile(ws_set)
+        with pytest.raises(UnknownVariableError):
+            circuit.evaluate({"nope": {1: 0.5, 2: 0.5}})
+        with pytest.raises(UnknownValueError):
+            circuit.evaluate({"x": {1: 0.5, 9: 0.5}})
+        with pytest.raises(InvalidDistributionError):
+            circuit.evaluate({"x": {1: 0.5, 2: 0.1}})  # does not sum to one
+        with pytest.raises(InvalidDistributionError):
+            circuit.evaluate({"x": {1: -0.2, 2: 1.2}})
+        with pytest.raises(InvalidDistributionError):
+            circuit.evaluate({"x": {1: 0.5}})  # partial domain
+
+
+class TestSweepAndGradient:
+    def test_sweep_matches_per_point_sessions(self, world_table, ws_set):
+        session = Session(world_table)
+        circuit = session.compile(ws_set)
+        ps = [0.0, 0.2, 0.5, 0.8, 1.0]
+        values = circuit.evaluate_sweep("x", ps, value=1)
+        for p, value in zip(ps, values):
+            table = WorldTable()
+            table.add_variable("x", {1: p, 2: 1.0 - p})
+            table.add_variable("y", {1: 0.4, 2: 0.6})
+            table.add_variable("z", {1: 0.2, 2: 0.3, 3: 0.5})
+            expected = Session(table).confidence(ws_set).value
+            assert value == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_sweep_default_value_and_validation(self, world_table, ws_set):
+        circuit = Session(world_table).compile(ws_set)
+        # value=None sweeps the first domain value.
+        assert circuit.evaluate_sweep("x", [0.3]) == pytest.approx(
+            circuit.evaluate_sweep("x", [0.3], value=1)
+        )
+        assert circuit.evaluate_sweep("x", []) == []
+        with pytest.raises(UnknownVariableError):
+            circuit.evaluate_sweep("nope", [0.5])
+        with pytest.raises(UnknownValueError):
+            circuit.evaluate_sweep("x", [0.5], value=9)
+        with pytest.raises(InvalidDistributionError):
+            circuit.evaluate_sweep("x", [1.5])
+
+    def test_gradient_matches_finite_differences(self, world_table, ws_set):
+        # evaluate() insists on normalised rows, so probe the directional
+        # derivative of moving mass from value b to value a: the difference
+        # of the two partials.
+        session = Session(world_table)
+        circuit = session.compile(ws_set)
+        gradient = circuit.gradient()
+        step = 1e-6
+        for variable in circuit.variables:
+            row = dict(world_table.distribution(variable))
+            values = sorted(row)
+            for a, b in zip(values, values[1:]):
+                up, down = dict(row), dict(row)
+                up[a] += step
+                up[b] -= step
+                down[a] -= step
+                down[b] += step
+                numeric = (
+                    circuit.evaluate({variable: up})
+                    - circuit.evaluate({variable: down})
+                ) / (2 * step)
+                # Slots the lineage never touches have zero derivative and
+                # are absent from the gradient dict.
+                expected = gradient.get((variable, a), 0.0) - gradient.get(
+                    (variable, b), 0.0
+                )
+                assert expected == pytest.approx(numeric, abs=1e-5)
+
+    def test_sensitivity_is_reparameterised_derivative(self, world_table, ws_set):
+        circuit = Session(world_table).compile(ws_set)
+        step = 1e-6
+        p0 = 0.3  # weight of x=1
+        up = circuit.evaluate_sweep("x", [p0 + step], value=1)[0]
+        down = circuit.evaluate_sweep("x", [p0 - step], value=1)[0]
+        numeric = (up - down) / (2 * step)
+        assert circuit.sensitivity("x", value=1) == pytest.approx(numeric, abs=1e-5)
+
+
+class TestCacheAndInvalidation:
+    def test_cache_hit_returns_same_object_and_counts(self, world_table, ws_set):
+        session = Session(world_table)
+        first = session.compile(ws_set)
+        second = session.compile(ws_set)
+        assert first is second
+        stats = session.statistics()
+        assert stats.circuits_compiled == 1
+        assert stats.circuit_cache_hits == 1
+        assert stats.circuit_compile_time > 0.0
+
+    def test_what_if_counts_evals(self, world_table, ws_set):
+        session = Session(world_table)
+        session.what_if(ws_set, "x", [0.1, 0.9], value=1)
+        stats = session.statistics()
+        assert stats.circuits_compiled == 1
+        assert stats.circuit_evals == 1
+        assert stats.circuit_eval_time > 0.0
+
+    def test_conditioning_invalidates_only_touched_circuits(self):
+        database = ProbabilisticDatabase()
+        table = database.world_table
+        table.add_variable("x", {1: 0.3, 2: 0.7})
+        table.add_variable("y", {1: 0.4, 2: 0.6})
+        table.add_variable("z", {1: 0.5, 2: 0.5})
+        # The posterior keeps exactly the variables its relations still use.
+        relation = database.create_relation("R", ("A",))
+        relation.add({"x": 1}, ("a",))
+        relation.add({"y": 1}, ("b",))
+        relation.add({"z": 1}, ("c",))
+        session = database.session()
+        xy = session.compile(WSSet([{"x": 1}, {"y": 1}]))
+        z = session.compile(WSSet([{"z": 1}]))
+
+        database.assert_condition(WSSet([{"z": 1}]))
+
+        # Conditioning made z certain, so the posterior table dropped it:
+        # the z circuit cannot be rebound, and a fresh compile of its
+        # lineage fails the same way a confidence query would.
+        with pytest.raises(UnknownVariableError):
+            session.compile(WSSet([{"z": 1}]))
+        assert z.evaluate() == pytest.approx(0.5)  # the stale object still works
+        # The x/y circuit's variables kept their distributions: rebound onto
+        # the posterior space, still answering what the engine answers.
+        xy_after = session.compile(WSSet([{"x": 1}, {"y": 1}]))
+        assert xy_after is xy
+        assert xy_after.evaluate() == (
+            session.confidence(WSSet([{"x": 1}, {"y": 1}])).value
+        )
+
+    def test_reweighting_invalidates_touched_circuit(self, world_table, ws_set):
+        session = Session(world_table)
+        circuit = session.compile(ws_set)
+        world_table.set_distribution("x", {1: 0.8, 2: 0.2})
+        recompiled = session.compile(ws_set)
+        assert recompiled is not circuit
+        assert recompiled.evaluate() == session.confidence(ws_set).value
+
+    def test_untouched_circuit_survives_reweighting(self, world_table):
+        session = Session(world_table)
+        xy = session.compile(WSSet([{"x": 1}, {"y": 2}]))
+        world_table.set_distribution("z", {1: 0.9, 2: 0.05, 3: 0.05})
+        assert session.compile(WSSet([{"x": 1}, {"y": 2}])) is xy
+        assert xy.evaluate() == (
+            session.confidence(WSSet([{"x": 1}, {"y": 2}])).value
+        )
+
+    def test_explicit_invalidate_clears_circuits(self, world_table, ws_set):
+        session = Session(world_table)
+        first = session.compile(ws_set)
+        session.handle.invalidate()
+        assert session.compile(ws_set) is not first
+
+
+class TestCompileSurface:
+    def test_compile_requires_interned_engine(self, world_table, ws_set):
+        session = Session(world_table, ExactConfig(engine="legacy"))
+        with pytest.raises(QueryError):
+            session.compile(ws_set)
+
+    def test_compile_is_budgeted(self):
+        instance = hard_instance(40)
+        session = Session(instance.world_table)
+        with pytest.raises(BudgetExceededError):
+            session.compile(instance.ws_set, max_calls=3)
+
+    def test_empty_and_certain_targets(self, world_table):
+        session = Session(world_table)
+        assert session.compile(WSSet([])).evaluate() == 0.0
+        assert session.compile(WSSet([{}])).evaluate() == 1.0
+
+
+class TestProbabilityMany:
+    def test_process_batch_equals_serial_loop(self):
+        instance = hard_instance(20)
+        descriptors = list(instance.ws_set)
+        groups = [
+            WSSet(descriptors[0:8]),
+            WSSet(descriptors[8:14]),
+            WSSet(descriptors[14:20]),
+            WSSet([]),
+            WSSet([{}]),
+        ]
+        serial = EngineHandle(instance.world_table, ExactConfig())
+        expected = [serial.probability(group) for group in groups]
+        pooled = EngineHandle(
+            instance.world_table, ExactConfig(executor="process"), workers=2
+        )
+        try:
+            values = pooled.probability_many(groups)
+        finally:
+            pooled.close()
+        assert values == expected
+        assert values[3] == 0.0 and values[4] == 1.0
+
+    def test_confidence_batch_routes_through_pool(self):
+        database = ProbabilisticDatabase()
+        table = database.world_table
+        table.add_variable("x", {1: 0.3, 2: 0.7})
+        table.add_variable("y", {1: 0.4, 2: 0.6})
+        relation = database.create_relation("R", ("A",))
+        relation.add({"x": 1}, ("a",))
+        relation.add({"y": 1}, ("a",))
+        relation.add({"x": 2, "y": 2}, ("b",))
+        serial_rows = database.session().confidence_batch("R")
+        with Session(database, executor="process", workers=2) as pooled:
+            pooled_rows = pooled.confidence_batch("R")
+            stats = pooled.statistics()
+        assert pooled_rows == serial_rows
+        assert stats.parallel_computations >= 1

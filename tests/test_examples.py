@@ -35,6 +35,7 @@ def test_examples_directory_contents():
         "tpch_confidence.py",
         "hard_instances.py",
         "server_quickstart.py",
+        "what_if_sweep.py",
     } <= names
 
 
@@ -96,6 +97,16 @@ def test_server_quickstart_round_trips_over_tcp(capsys):
     assert "P(R nonempty) = 1.0000 via exact" in output
     assert "(4, 'Bill'): 0.3000" in output
     assert "server stopped cleanly" in output
+
+
+def test_what_if_sweep_example(capsys):
+    module = load_example("what_if_sweep")
+    module.main()
+    output = capsys.readouterr().out
+    assert "compiled circuit" in output
+    assert "reviewer error rate" in output
+    assert "spot check at 0.50" in output
+    assert "review dominates" in output
 
 
 def test_hard_instances_example(capsys):
