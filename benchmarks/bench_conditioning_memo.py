@@ -1,0 +1,300 @@
+"""Conditioning-subproblem memo: repeated asserts and sibling-heavy branches.
+
+Two measurements, both on #P-hard (Figure 11a-style) conditioning material,
+each run memo-on against the ``ExactConfig(condition_memoize=False)``
+ablation:
+
+1. **Repeated assert** (cross-call): the same what-if assert evaluated K
+   times over an unchanged prior through one shared
+   :class:`~repro.core.conditioning.ConditioningMemo` — the handle-level
+   situation of a session replaying an assert while exploring what-ifs.
+   After the first (cold) call every repetition answers from the root memo
+   entry, so the memoised total must be at least **2x** faster than the
+   ablation; the floor is enforced unconditionally, since the memo is a
+   single-threaded win and needs no spare cores.
+
+2. **Sibling branches** (within one run): a fan-out variable ``w`` paired
+   with a fixed hard residual condition, so every ⊕-branch of ``w`` leaves
+   the *identical* subproblem — the cross-branch hits of the Davis-Putnam
+   recursion itself.  One cold memoised run against one unmemoised run;
+   the memoised run must show at least ``fanout - 1`` sibling hits.  Both
+   runs disable ``prune_unrelated``: with pruning on, the heuristic only
+   eliminates tuple-sharing variables and hands unrelated residuals to the
+   (already memoised) confidence engine, so the pure cross-branch effect
+   would be masked by an older cache.
+
+Every memoised result is asserted **bit-identical** to the unmemoised one —
+same confidence, same rewritten descriptors, same new-variable weights —
+before any timing is trusted.
+
+Run directly to print the table and record ``BENCH_conditioning_memo.json``::
+
+    PYTHONPATH=src python benchmarks/bench_conditioning_memo.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.conditioning import ConditioningMemo, condition_wsset
+from repro.core.probability import ExactConfig
+from repro.core.wsset import WSSet
+from repro.db.world_table import WorldTable
+from repro.workloads.hard import HardCaseParameters, generate_hard_instance
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_NAME = "BENCH_conditioning_memo.json"
+
+MEMO_OFF = ExactConfig(condition_memoize=False)
+TARGET_SPEEDUP = 2.0
+
+#: Figure 11a-style material for the condition ws-set (quick mode shrinks it).
+NUM_VARIABLES = 14
+ALTERNATIVES = 2
+DESCRIPTOR_LENGTH = 4
+CONDITION_DESCRIPTORS = 48
+TUPLES = 12
+REPETITIONS = 12
+
+SIBLING_FANOUT = 6
+SIBLING_TUPLES = 8
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def signature(result):
+    """Everything observable about a conditioning result, for exact ``==``."""
+    delta = result.delta_world_table
+    return (
+        result.confidence,
+        {tag: list(descs) for tag, descs in result.rewritten.items()},
+        {variable: delta.distribution(variable) for variable in delta.variables},
+        dict(result.variable_sources),
+    )
+
+
+def build_assert_workload(num_descriptors: int, tuples: int):
+    """A hard condition plus tuple descriptors over the same variables."""
+    instance = generate_hard_instance(
+        HardCaseParameters(
+            num_variables=NUM_VARIABLES,
+            alternatives=ALTERNATIVES,
+            descriptor_length=DESCRIPTOR_LENGTH,
+            num_descriptors=num_descriptors + tuples,
+            seed=0,
+        )
+    )
+    descriptors = list(instance.ws_set)
+    condition = WSSet(descriptors[:num_descriptors])
+    tagged = [
+        (f"t{index}", descriptor)
+        for index, descriptor in enumerate(descriptors[num_descriptors:])
+    ]
+    return instance.world_table, condition, tagged
+
+
+def build_sibling_workload(
+    fanout: int, num_descriptors: int, num_variables: int, descriptor_length: int
+):
+    """A fan-out variable whose branches all leave the identical residual.
+
+    Each descriptor pairs one alternative of ``w`` with one member of a
+    fixed hard residual set that never mentions ``w``: whichever branch the
+    recursion takes, the remaining subproblem is the same.
+    """
+    instance = generate_hard_instance(
+        HardCaseParameters(
+            num_variables=num_variables,
+            alternatives=ALTERNATIVES,
+            descriptor_length=descriptor_length,
+            num_descriptors=num_descriptors + SIBLING_TUPLES,
+            seed=1,
+        )
+    )
+    world_table = WorldTable()
+    world_table.add_variable("w", {j: 1.0 / fanout for j in range(fanout)})
+    for variable in instance.world_table.variables:
+        world_table.add_variable(
+            variable, instance.world_table.distribution(variable)
+        )
+    descriptors = list(instance.ws_set)
+    residual = descriptors[:num_descriptors]
+    condition = WSSet(
+        [{"w": j, **dict(part.items())} for j in range(fanout) for part in residual]
+    )
+    tagged = [
+        (f"t{index}", descriptor)
+        for index, descriptor in enumerate(descriptors[num_descriptors:])
+    ]
+    return world_table, condition, tagged
+
+
+def measure_repeated_assert(repetitions: int, num_descriptors: int) -> dict:
+    world_table, condition, tuples = build_assert_workload(
+        num_descriptors, TUPLES
+    )
+    memo = ConditioningMemo()
+
+    started = time.perf_counter()
+    baselines = [
+        condition_wsset(condition, tuples, world_table, MEMO_OFF)
+        for _ in range(repetitions)
+    ]
+    off_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    memoised = [
+        condition_wsset(condition, tuples, world_table, memo=memo)
+        for _ in range(repetitions)
+    ]
+    on_seconds = time.perf_counter() - started
+
+    reference = signature(baselines[0])
+    for result in baselines[1:] + memoised:
+        assert signature(result) == reference, "memoised assert diverged"
+    assert memo.hits >= repetitions - 1, (
+        f"expected root hits on every repetition after the first: "
+        f"{memo.hits} hits for {repetitions} calls"
+    )
+    return {
+        "repetitions": repetitions,
+        "condition_descriptors": num_descriptors,
+        "tuples": TUPLES,
+        "memo_off_seconds": round(off_seconds, 4),
+        "memo_on_seconds": round(on_seconds, 4),
+        "speedup": round(off_seconds / on_seconds, 2),
+        "memo": {
+            "hits": memo.hits,
+            "misses": memo.misses,
+            "evictions": memo.evictions,
+            "entries": len(memo),
+            "bytes_estimate": memo.bytes_estimate(),
+        },
+        "bit_identical": True,
+    }
+
+
+def measure_sibling_branches(
+    fanout: int, num_descriptors: int, num_variables: int, descriptor_length: int
+) -> dict:
+    world_table, condition, tuples = build_sibling_workload(
+        fanout, num_descriptors, num_variables, descriptor_length
+    )
+
+    started = time.perf_counter()
+    baseline = condition_wsset(
+        condition, tuples, world_table, MEMO_OFF, prune_unrelated=False
+    )
+    off_seconds = time.perf_counter() - started
+
+    memo = ConditioningMemo()
+    started = time.perf_counter()
+    memoised = condition_wsset(
+        condition, tuples, world_table, memo=memo, prune_unrelated=False
+    )
+    on_seconds = time.perf_counter() - started
+
+    assert signature(memoised) == signature(baseline), "sibling run diverged"
+    assert memo.hits >= fanout - 1, (
+        f"expected >= {fanout - 1} sibling hits, saw {memo.hits}"
+    )
+    return {
+        "fanout": fanout,
+        "residual_descriptors": num_descriptors,
+        "num_variables": num_variables,
+        "descriptor_length": descriptor_length,
+        "prune_unrelated": False,
+        "memo_off_seconds": round(off_seconds, 4),
+        "memo_on_seconds": round(on_seconds, 4),
+        "speedup": round(off_seconds / on_seconds, 2),
+        "memo": {"hits": memo.hits, "misses": memo.misses},
+        "bit_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> Path:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload for CI smoke (the 2x floor still holds)",
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / REPORT_NAME)
+    arguments = parser.parse_args(argv)
+
+    quick = arguments.quick
+    repetitions = 6 if quick else REPETITIONS
+    condition_descriptors = 32 if quick else CONDITION_DESCRIPTORS
+    sibling_descriptors = 12 if quick else 20
+    sibling_variables = 10 if quick else 12
+    sibling_length = 3 if quick else 4
+
+    print(
+        f"1) repeated assert: {repetitions} calls over "
+        f"{condition_descriptors} condition descriptors, memo on vs off"
+    )
+    repeated = measure_repeated_assert(repetitions, condition_descriptors)
+    print(
+        f"   off {repeated['memo_off_seconds']:.2f}s  on "
+        f"{repeated['memo_on_seconds']:.2f}s  -> {repeated['speedup']}x "
+        f"({repeated['memo']['hits']} hits, bit-identical)"
+    )
+
+    print(
+        f"2) sibling branches: fanout {SIBLING_FANOUT} over "
+        f"{sibling_descriptors} residual descriptors, one cold run each"
+    )
+    sibling = measure_sibling_branches(
+        SIBLING_FANOUT, sibling_descriptors, sibling_variables, sibling_length
+    )
+    print(
+        f"   off {sibling['memo_off_seconds']:.2f}s  on "
+        f"{sibling['memo_on_seconds']:.2f}s  -> {sibling['speedup']}x "
+        f"({sibling['memo']['hits']} hits, bit-identical)"
+    )
+
+    # The memo is a single-threaded win: the floor holds regardless of how
+    # many cores the machine has, so it is always enforced.
+    assert repeated["speedup"] >= TARGET_SPEEDUP, (
+        f"repeated-assert target missed: {repeated['speedup']}x < "
+        f"{TARGET_SPEEDUP}x"
+    )
+    print(f"speedup floor ok: {repeated['speedup']}x >= {TARGET_SPEEDUP}x")
+
+    payload = {
+        "title": "Conditioning-subproblem memo vs the unmemoised recursion",
+        "quick": quick,
+        "machine": {"usable_cpus": usable_cpus()},
+        "target": {
+            "speedup": TARGET_SPEEDUP,
+            "scenario": "repeated_assert",
+            "enforced": True,
+            "note": (
+                "the memo needs no spare cores, so the floor is enforced "
+                "on every machine"
+            ),
+        },
+        "workload": {
+            "figure": "11a-style",
+            "num_variables": NUM_VARIABLES,
+            "alternatives": ALTERNATIVES,
+            "descriptor_length": DESCRIPTOR_LENGTH,
+        },
+        "repeated_assert": repeated,
+        "sibling_branches": sibling,
+    }
+    arguments.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {arguments.out}")
+    return arguments.out
+
+
+if __name__ == "__main__":
+    main()

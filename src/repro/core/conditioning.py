@@ -57,6 +57,7 @@ from repro.core.decompose import (
     DecompositionStats,
     connected_components,
     deduplicate,
+    make_memo,
     recursion_guard,
     remove_subsumed,
     split_on_variable,
@@ -133,6 +134,7 @@ def condition_wsset(
     merge_equal_new_variables: bool = True,
     literal_independence_rule: bool = False,
     implementation: str | None = None,
+    memo: ConditioningMemo | None = None,
 ) -> ConditioningResult:
     """Condition a set of tuple descriptors on a condition ws-set (Figure 8).
 
@@ -180,6 +182,16 @@ def condition_wsset(
         the default interned engine, the legacy recursion for
         ``engine="legacy"`` or when ``literal_independence_rule`` is set
         (the literal Figure 8 ⊗-rule only exists in the legacy engine).
+    memo:
+        A :class:`ConditioningMemo` shared across calls — usually the
+        handle-level cache from
+        :meth:`~repro.core.engine.EngineHandle.conditioning_memo` — so that
+        repeated asserts over an unchanged (or mostly unchanged) prior reuse
+        solved subproblems.  ``None`` with ``config.condition_memoize`` on
+        (the default) uses a private per-run memo, which still captures
+        repeats across sibling branches; ``config.condition_memoize=False``
+        disables memoisation entirely (the ablation knob).  Interned engine
+        only; the legacy implementation ignores it.
     """
     # Imported here (not at module level) to keep repro.core importable on its
     # own: repro.db.database imports this module in turn.
@@ -216,6 +228,7 @@ def condition_wsset(
             config,
             prune_unrelated=prune_unrelated,
             drop_singleton_new_variables=drop_singleton_new_variables,
+            memo=memo,
         )
         interned_condition = deduplicate_interned(
             engine.space.intern_wsset(condition)
@@ -513,6 +526,162 @@ class _ConditioningEngine:
         return {variable: dict(dist) for variable, dist in self._new_variables.items()}
 
 
+DEFAULT_CONDITION_MEMO_LIMIT = 1 << 14
+"""Entry bound of handle-level conditioning memos when the config sets none."""
+
+
+class ConditioningMemo:
+    """A bounded cache of solved conditioning subproblems.
+
+    Entries map the exact interned signature of a recursion node — the
+    canonical residual condition descriptors *and* the full content of the
+    remaining tuple records (tags, packed sorted int assignments, alien
+    assignments) — to the node's result ``(variable_mask, confidence,
+    rewrite-tree chunks, new-variable allocations, bytes estimate)``.  Keys
+    are content-based, never identity-based, so hits happen both across
+    sibling branches within one run and, when one memo is shared through an
+    :class:`~repro.core.engine.EngineHandle`, across calls.  Hit replay
+    re-allocates fresh variables live and rebinds the structurally shared
+    rewrite trees instead of deep-copying, which keeps results bit-identical
+    to the unmemoised recursion (see
+    ``_InternedConditioningEngine._replay``).
+
+    ``variable_mask`` covers every world-table variable whose domain or
+    weights the cached subcomputation depended on; :meth:`refresh` uses it
+    for bitmask-selective invalidation mirroring the handle's circuit cache,
+    so a ``set_distribution`` re-weighting only evicts intersecting entries.
+    An entry is a pure function of the masked space content plus its key, so
+    surviving a weight change of *other* variables is sound.
+
+    Thread-safety: binding (:meth:`refresh`/:meth:`attune`) replaces the
+    entry dict rather than mutating it, so a conditioning run that captured
+    the previous dict keeps writing into an orphaned memo — wasted work at
+    worst, never a poisoned cache.  Counter updates and stats reads are
+    plain attribute accesses guarded by the GIL.
+    """
+
+    __slots__ = (
+        "limit",
+        "entries",
+        "space",
+        "options",
+        "hits",
+        "misses",
+        "_retired_evictions",
+    )
+
+    def __init__(self, limit: int | None = DEFAULT_CONDITION_MEMO_LIMIT) -> None:
+        self.limit = limit
+        self.entries: dict = make_memo(limit)
+        self.space: object | None = None
+        self.options: tuple | None = None
+        self.hits = 0
+        self.misses = 0
+        self._retired_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def evictions(self) -> int:
+        """Capacity evictions over the memo's lifetime (invalidations excluded)."""
+        return self._retired_evictions + getattr(self.entries, "evictions", 0)
+
+    def bytes_estimate(self) -> int:
+        """Rough retained-size estimate, the sum of per-entry estimates."""
+        # list() snapshots the values under the GIL so a concurrent store or
+        # eviction cannot break the sum (handle stats reads are lock-free).
+        return sum(entry[4] for entry in list(self.entries.values()))
+
+    def clear(self) -> None:
+        """Drop every entry and unbind (the cold-cache invalidation path)."""
+        self._replace_entries({})
+        self.space = None
+        self.options = None
+
+    def refresh(self, space) -> None:
+        """Re-bind to ``space``, selectively evicting stale entries.
+
+        Binding to the same space object is a no-op.  Across spaces, entries
+        survive iff the packed encoding is unchanged (same shift, same
+        variable-id assignment up to appended variables) and their variable
+        mask does not intersect any variable whose domain or weights changed
+        — the circuit-cache discipline of ``EngineHandle._refresh_circuits``
+        applied to conditioning subproblems.
+        """
+        old = self.space
+        if space is old:
+            return
+        survivors: dict = {}
+        if old is not None and self.entries:
+            changed = _changed_variable_mask(old, space)
+            if changed is not None:
+                survivors = {
+                    key: entry
+                    for key, entry in self.entries.items()
+                    if not (entry[0] & changed)
+                }
+        self._replace_entries(survivors)
+        self.space = space
+
+    def attune(self, space, options: tuple) -> dict:
+        """Bind for a run and return the entry dict the engine should use.
+
+        ``options`` captures every engine knob that can change the
+        recursion's structure or floating-point results (pruning, rule 2,
+        heuristic, subsumption, vectorisation threshold); a mismatch clears
+        the memo rather than risking cross-configuration hits.
+        """
+        self.refresh(space)
+        if self.options != options:
+            if self.options is not None:
+                self._replace_entries({})
+            self.options = options
+        return self.entries
+
+    def _replace_entries(self, survivors: dict) -> None:
+        self._retired_evictions += getattr(self.entries, "evictions", 0)
+        entries: dict = make_memo(self.limit)
+        for key, entry in survivors.items():
+            entries[key] = entry
+        self.entries = entries
+
+
+def _changed_variable_mask(old, new) -> int | None:
+    """Bitmask of old-space variable ids whose meaning changed in ``new``.
+
+    ``None`` means the packed encoding itself moved (different shift) and no
+    entry can survive.  A variable-id reassignment marks every id from the
+    first mismatch onward as changed: packed assignments of later ids no
+    longer denote the same (variable, value) pairs.  Variables appended in
+    ``new`` past the old space's end cannot appear in old entries and are
+    ignored.
+    """
+    if new.shift != old.shift:
+        return None
+    old_variables = old.variables
+    new_variables = new.variables
+    old_values = old.values
+    new_values = new.values
+    old_weights = old.weights
+    new_weights = new.weights
+    limit = len(old_variables)
+    changed = 0
+    for variable_id in range(limit):
+        if (
+            variable_id >= len(new_variables)
+            or old_variables[variable_id] != new_variables[variable_id]
+        ):
+            changed |= ((1 << (limit - variable_id)) - 1) << variable_id
+            break
+        if (
+            old_values[variable_id] != new_values[variable_id]
+            or old_weights[variable_id] != new_weights[variable_id]
+        ):
+            changed |= 1 << variable_id
+    return changed
+
+
 class _CondFrame:
     """One suspended ⊕-node of the interned conditioning engine's stack.
 
@@ -520,17 +689,44 @@ class _CondFrame:
     branch_tuples)``; ``results`` collects the children's ``(confidence,
     rewritten)`` pairs in the same order; ``unrelated`` are the tuples pruned
     at this node, appended unchanged once the node's confidence is known.
+    ``memo_key``/``entry_mask``/``alloc_start`` carry what ``_finish`` needs
+    to store the node's result in the conditioning memo: its signature, its
+    variable bitmask, and the first extended-variable index the subtree may
+    allocate (the slice from there to the end at fold time is exactly the
+    subtree's new-variable allocations, since the recursion is depth-first).
     """
 
-    __slots__ = ("variable_id", "branches", "index", "results", "unrelated", "depth")
+    __slots__ = (
+        "variable_id",
+        "branches",
+        "index",
+        "results",
+        "unrelated",
+        "depth",
+        "memo_key",
+        "entry_mask",
+        "alloc_start",
+    )
 
-    def __init__(self, variable_id, branches, unrelated, depth):
+    def __init__(
+        self,
+        variable_id,
+        branches,
+        unrelated,
+        depth,
+        memo_key=None,
+        entry_mask=0,
+        alloc_start=0,
+    ):
         self.variable_id = variable_id
         self.branches = branches
         self.index = 0
         self.results = []
         self.unrelated = unrelated
         self.depth = depth
+        self.memo_key = memo_key
+        self.entry_mask = entry_mask
+        self.alloc_start = alloc_start
 
 
 class _InternedConditioningEngine:
@@ -576,6 +772,7 @@ class _InternedConditioningEngine:
         *,
         prune_unrelated: bool,
         drop_singleton_new_variables: bool,
+        memo: ConditioningMemo | None = None,
     ) -> None:
         self.world_table = world_table
         self.config = config
@@ -606,6 +803,40 @@ class _InternedConditioningEngine:
         # source variable id -> number of primes already handed out, so fresh
         # string names extend from the last one instead of rescanning.
         self._prime_counts: dict[int, int] = {}
+        # Conditioning-subproblem memo: hits skip whole subtrees of the
+        # recursion.  A caller-supplied memo (usually the handle-level cache)
+        # carries entries across runs; otherwise a private per-run memo still
+        # captures repeats across sibling branches.  ``id(record) -> key``
+        # gives each interned tuple record its content key (``None`` marks a
+        # record whose tag or alien values are unhashable, which opts the
+        # nodes containing it out of memoisation).
+        self._record_keys: dict[int, tuple | None] = {}
+        if not config.condition_memoize:
+            memo = None
+        elif memo is None:
+            memo = ConditioningMemo(config.condition_memo_limit)
+        self._memo = memo
+        self._memo_entries: dict | None = (
+            memo.attune(self.space, self._memo_options()) if memo is not None else None
+        )
+
+    def _memo_options(self) -> tuple:
+        """The engine knobs a memo entry's result depends on (see ``attune``)."""
+        config = self.config
+        heuristic = (
+            config.heuristic
+            if isinstance(config.heuristic, str)
+            else repr(config.heuristic)
+        )
+        return (
+            self.prune_unrelated,
+            self.drop_singleton_new_variables,
+            heuristic,
+            config.use_independent_partitioning,
+            config.simplify_subsumed,
+            config.subsumption_every_step,
+            config.numpy_threshold,
+        )
 
     # -- interning --------------------------------------------------------
     def intern_tuples(self, tagged) -> list[tuple]:
@@ -625,6 +856,8 @@ class _InternedConditioningEngine:
         variable_ids = space.variable_ids
         value_ids = space.value_ids
         shift = space.shift
+        record_keys = self._record_keys
+        keyed = self._memo_entries is not None
         interned = []
         for tag, descriptor in tagged:
             packed: list[int] = []
@@ -647,7 +880,20 @@ class _InternedConditioningEngine:
             if dead:
                 continue
             packed.sort()
-            interned.append((tag, tuple(packed), mask, alien))
+            record = (tag, tuple(packed), mask, alien)
+            interned.append(record)
+            if keyed:
+                key: tuple | None
+                try:
+                    key = (
+                        tag,
+                        record[1],
+                        None if not alien else tuple(sorted(alien.items(), key=repr)),
+                    )
+                    hash(key)
+                except TypeError:
+                    key = None
+                record_keys[id(record)] = key
         return interned
 
     def externalize_tuples(self, chunks) -> list[tuple]:
@@ -737,32 +983,143 @@ class _InternedConditioningEngine:
         if self.config.subsumption_every_step:
             descriptors = remove_subsumed_interned(descriptors)
 
+        entries = self._memo_entries
+        memo_key = None
+        entry_mask = 0
+        condition_mask = 0
+        if entries is not None or self.prune_unrelated:
+            condition_mask = self._condition_mask_of(descriptors)
+        if entries is not None:
+            memo_key = self._memo_key(descriptors, tuples)
+            if memo_key is not None:
+                memo = self._memo
+                entry = entries.get(memo_key)
+                if entry is not None:
+                    memo.hits += 1
+                    return self._replay(entry)
+                memo.misses += 1
+                entry_mask = condition_mask
+                for t in tuples:
+                    entry_mask |= t[2]
+
         if self.prune_unrelated:
-            shift = self.space.shift
-            masks = self._condition_masks
-            condition_mask = 0
-            for descriptor in descriptors:
-                descriptor_mask = masks.get(descriptor)
-                if descriptor_mask is None:
-                    descriptor_mask = 0
-                    for p in descriptor:
-                        descriptor_mask |= 1 << (p >> shift)
-                    masks[descriptor] = descriptor_mask
-                condition_mask |= descriptor_mask
             related = [t for t in tuples if t[2] & condition_mask]
             if not related:
                 # Nothing left to rewrite below this point: only the branch
                 # confidence matters, so delegate to the shared exact engine.
                 confidence = self.confidence_engine.compute_interned(descriptors)
-                return confidence, [("leaf", tuples)]
+                chunks = [("leaf", tuples)]
+                if memo_key is not None:
+                    self._store(memo_key, entry_mask, confidence, chunks, ())
+                return confidence, chunks
             unrelated = [t for t in tuples if not (t[2] & condition_mask)]
-            self._push_eliminate(descriptors, related, unrelated, depth, stack)
+            self._push_eliminate(
+                descriptors, related, unrelated, depth, stack, memo_key, entry_mask
+            )
             return None
 
-        self._push_eliminate(descriptors, tuples, [], depth, stack)
+        self._push_eliminate(
+            descriptors, tuples, [], depth, stack, memo_key, entry_mask
+        )
         return None
 
-    def _push_eliminate(self, descriptors, tuples, unrelated, depth, stack):
+    def _condition_mask_of(self, descriptors) -> int:
+        """Union bitmask of the condition descriptors' variables (cached)."""
+        shift = self.space.shift
+        masks = self._condition_masks
+        condition_mask = 0
+        for descriptor in descriptors:
+            descriptor_mask = masks.get(descriptor)
+            if descriptor_mask is None:
+                descriptor_mask = 0
+                for p in descriptor:
+                    descriptor_mask |= 1 << (p >> shift)
+                masks[descriptor] = descriptor_mask
+            condition_mask |= descriptor_mask
+        return condition_mask
+
+    # -- the conditioning-subproblem memo ---------------------------------
+    def _memo_key(self, descriptors, tuples):
+        """The node's exact content signature, or ``None`` if unkeyable.
+
+        Covers the residual condition (canonically sorted — descriptor lists
+        arrive in branch-dependent orders) and the full remaining tuple set,
+        *including* tuples about to be pruned as unrelated: the split is a
+        deterministic function of the key, so cached chunks embed the
+        pass-through leaf too.
+        """
+        record_keys = self._record_keys
+        tuple_keys = []
+        for t in tuples:
+            key = record_keys.get(id(t))
+            if key is None:
+                return None
+            tuple_keys.append(key)
+        return (tuple(sorted(descriptors)), tuple(tuple_keys))
+
+    def _store(self, memo_key, entry_mask, confidence, chunks, allocations):
+        condition_key, tuple_keys = memo_key
+        cost = 120 + 56 * len(tuple_keys) + 72 * len(chunks)
+        for descriptor in condition_key:
+            cost += 40 + 16 * len(descriptor)
+        for _source_id, _old_id, distribution in allocations:
+            cost += 88 + 48 * len(distribution)
+        self._memo_entries[memo_key] = (
+            entry_mask,
+            confidence,
+            chunks,
+            allocations,
+            cost,
+        )
+
+    def _replay(self, entry):
+        """Re-materialise a cached subproblem bit-identically.
+
+        Fresh variables are re-allocated *live* in the stored order: the
+        naming walk consults the current world table and the run's own
+        ``_new_names``, so replayed names match exactly what the unmemoised
+        recursion would have produced at this point, and the cached
+        distributions — never mutated after the ``_finish`` that filled them
+        — are shared rather than copied.  The op spine is then rebuilt
+        iteratively (deep spines would blow the recursion limit) with the
+        remapped new-variable ids, while leaf chunks are shared verbatim:
+        records are immutable, and content-equal records externalise
+        identically, so sharing across runs is safe.
+        """
+        _mask, confidence, chunks, allocations, _cost = entry
+        if not allocations:
+            return confidence, chunks
+        base = self._base
+        distributions = self._extended_distributions
+        remap = {}
+        for source_id, old_id, distribution in allocations:
+            new_id = self._fresh_variable(source_id)
+            distributions[new_id - base] = distribution
+            remap[old_id] = new_id
+
+        shift = self.space.shift
+        value_mask = self.space.mask
+        rebound: list = []
+        stack = [(chunks, rebound)]
+        while stack:
+            children, target = stack.pop()
+            for chunk in children:
+                if chunk[0] == "leaf":
+                    target.append(chunk)
+                else:
+                    _, var_bit, new_packed, sub = chunk
+                    if new_packed is not None:
+                        new_packed = (remap[new_packed >> shift] << shift) | (
+                            new_packed & value_mask
+                        )
+                    fresh: list = []
+                    target.append(("op", var_bit, new_packed, fresh))
+                    stack.append((sub, fresh))
+        return confidence, rebound
+
+    def _push_eliminate(
+        self, descriptors, tuples, unrelated, depth, stack, memo_key=None, entry_mask=0
+    ):
         """⊕-node: pick a variable, prepare its branches, push the frame."""
         space = self.space
         shift = space.shift
@@ -831,7 +1188,17 @@ class _InternedConditioningEngine:
                 else:
                     branch_tuples.append(t)
             branches.append((value_id, weight, subset, branch_tuples))
-        stack.append(_CondFrame(variable_id, branches, unrelated, depth))
+        stack.append(
+            _CondFrame(
+                variable_id,
+                branches,
+                unrelated,
+                depth,
+                memo_key,
+                entry_mask,
+                len(self._extended_names),
+            )
+        )
 
     def _finish(self, frame: _CondFrame):
         """Fold a completed ⊕-frame: renormalise and emit rewrite-tree ops."""
@@ -848,6 +1215,10 @@ class _InternedConditioningEngine:
             if confidence > 0.0:
                 surviving.append((value_id, weight, confidence, rewritten))
         if node_confidence == 0.0:
+            if frame.memo_key is not None:
+                # A proven-zero subtree allocates no variables (every branch
+                # folded to zero, recursively), so the entry is just the fact.
+                self._store(frame.memo_key, frame.entry_mask, 0.0, [], ())
             return 0.0, []
 
         if self.drop_singleton_new_variables and len(surviving) == 1:
@@ -866,6 +1237,22 @@ class _InternedConditioningEngine:
                 )
         if frame.unrelated:
             chunks.append(("leaf", frame.unrelated))
+        if frame.memo_key is not None:
+            # The extended-variable slice from ``alloc_start`` is exactly the
+            # subtree's allocations (depth-first recursion), in allocation
+            # order; replay walks them through ``_fresh_variable`` again so
+            # the entry stays valid whatever names a later run has taken.
+            allocations = tuple(
+                (
+                    self._extended_sources[k],
+                    self._base + k,
+                    self._extended_distributions[k],
+                )
+                for k in range(frame.alloc_start, len(self._extended_names))
+            )
+            self._store(
+                frame.memo_key, frame.entry_mask, node_confidence, chunks, allocations
+            )
         return node_confidence, chunks
 
     # -- new-variable bookkeeping ----------------------------------------

@@ -59,6 +59,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, fields
 from typing import TYPE_CHECKING
 
+from repro.core.conditioning import (
+    DEFAULT_CONDITION_MEMO_LIMIT,
+    ConditioningMemo,
+)
 from repro.core.decompose import Budget
 from repro.core.interned import (
     InternedEngine,
@@ -132,6 +136,16 @@ class EngineStats:
     replacement via rebinding), ``circuit_evals`` what-if evaluations
     answered from circuits, and ``circuit_compile_time`` /
     ``circuit_eval_time`` their summed wall-clock seconds.
+
+    The ``cond_memo_*`` family describes the handle-level
+    :class:`~repro.core.conditioning.ConditioningMemo` shared across
+    conditioning runs (see :meth:`EngineHandle.conditioning_memo`):
+    subproblem lookups answered from / added to the cache
+    (``cond_memo_hits`` / ``cond_memo_misses``), entries dropped by the
+    bounded cache's capacity eviction (``cond_memo_evictions`` —
+    bitmask-selective invalidations are not counted), and a rough retained
+    size in bytes (``cond_memo_bytes_estimate``).  All zero when
+    ``condition_memoize`` is off or no conditioning ran through the handle.
     """
 
     computations: int = 0
@@ -153,6 +167,10 @@ class EngineStats:
     circuit_evals: int = 0
     circuit_compile_time: float = 0.0
     circuit_eval_time: float = 0.0
+    cond_memo_hits: int = 0
+    cond_memo_misses: int = 0
+    cond_memo_evictions: int = 0
+    cond_memo_bytes_estimate: int = 0
 
     @property
     def memo_hit_rate(self) -> float:
@@ -225,6 +243,10 @@ class EngineHandle:
         self._circuit_evals = 0
         self._circuit_compile_time = 0.0
         self._circuit_eval_time = 0.0
+        # Conditioning-subproblem memo shared across runs; like the circuit
+        # cache it survives _retire() and is selectively revalidated against
+        # the current interned space on every conditioning_memo() access.
+        self._cond_memo: ConditioningMemo | None = None
 
     # ------------------------------------------------------------------
     # Binding / staleness
@@ -270,6 +292,8 @@ class EngineHandle:
             self._retire()
             self._circuit_cache.clear()
             self._circuit_space = None
+            if self._cond_memo is not None:
+                self._cond_memo.clear()
 
     def close(self) -> None:
         """Shut down the worker pool and disable parallel evaluation.
@@ -329,6 +353,36 @@ class EngineHandle:
             )
             self._engine_version = version
         return self._engine
+
+    def conditioning_memo(self) -> ConditioningMemo | None:
+        """The handle-level conditioning-subproblem memo, freshly revalidated.
+
+        ``None`` when the config disables it (legacy engine or
+        ``condition_memoize=False``).  Every access re-binds the memo to the
+        *current* interned space — rebuilding the engine first if the world
+        table was mutated — which makes this the single invalidation
+        choke-point for conditioning state: a ``set_distribution``
+        re-weighting bumps the table version, the rebuilt space is diffed
+        against the one the entries were keyed under, and only entries whose
+        variable bitmask intersects the changed variables are evicted (the
+        circuit-cache discipline).  A world-table *replacement* (an executed
+        ``assert``) flows through :meth:`rebind` and lands here too: the next
+        access diffs against the posterior table's space, so a stale
+        pre-assert posterior can never be served.
+        """
+        config = self.config
+        if config.engine == "legacy" or not config.condition_memoize:
+            return None
+        with self._lock:
+            memo = self._cond_memo
+            if memo is None:
+                limit = config.condition_memo_limit
+                if limit is None:
+                    limit = DEFAULT_CONDITION_MEMO_LIMIT
+                memo = self._cond_memo = ConditioningMemo(limit)
+            space = self.engine().space
+            memo.refresh(space)
+            return memo
 
     # ------------------------------------------------------------------
     # Computation
@@ -859,6 +913,7 @@ class EngineHandle:
                 self._workers * self._parallel_wall_time
             )
         backend = self._backend
+        cond_memo = self._cond_memo
         return EngineStats(
             computations=self._computations,
             frames=frames,
@@ -879,6 +934,12 @@ class EngineHandle:
             circuit_evals=self._circuit_evals,
             circuit_compile_time=self._circuit_compile_time,
             circuit_eval_time=self._circuit_eval_time,
+            cond_memo_hits=cond_memo.hits if cond_memo is not None else 0,
+            cond_memo_misses=cond_memo.misses if cond_memo is not None else 0,
+            cond_memo_evictions=cond_memo.evictions if cond_memo is not None else 0,
+            cond_memo_bytes_estimate=(
+                cond_memo.bytes_estimate() if cond_memo is not None else 0
+            ),
         )
 
     def __repr__(self) -> str:

@@ -275,6 +275,26 @@ def available_heuristics() -> tuple[str, ...]:
     return tuple(sorted(_HEURISTICS))
 
 
+def component_dispatch_cost(component, space) -> int:
+    """Evaluation-cost estimate of an interned ⊗-component, for dispatch order.
+
+    The decomposition's work grows with how many descriptors the component
+    holds and with how many branches each eliminated variable fans out into,
+    so the estimate is *descriptor count × summed domain size* over the
+    component's distinct variables — a deterministic integer computed from
+    packed assignments alone.  ``space`` is anything with ``shift`` and
+    ``domain_size(variable_id)`` (an
+    :class:`~repro.core.interned.InternedSpace` or a
+    :class:`~repro.core.procpool.SpaceSnapshot`).  Used by
+    :func:`~repro.core.procpool.chunk_components` to feed largest-first
+    chunks to the process pool so stragglers stop serialising it.
+    """
+    shift = space.shift
+    variable_ids = {p >> shift for descriptor in component for p in descriptor}
+    domains = sum(space.domain_size(variable_id) for variable_id in variable_ids)
+    return len(component) * max(1, domains)
+
+
 def count_occurrences(descriptors: Sequence[Mapping[Variable, Value]]) -> dict:
     """Gather ``variable -> value -> count`` statistics in one pass over a ws-set.
 

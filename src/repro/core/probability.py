@@ -90,6 +90,22 @@ class ExactConfig:
         computations; long-lived shared engines (sessions, servers) should set
         a limit, turning the memo into a
         :class:`~repro.core.decompose.BoundedMemo` with clear-half eviction.
+    condition_memoize:
+        Memoise the conditioning recursion itself (on by default): identical
+        condition-plus-tuple subproblems — keyed by the exact interned
+        signature of the residual condition *and* the remaining tuple
+        records — are answered from a
+        :class:`~repro.core.conditioning.ConditioningMemo` instead of being
+        re-decomposed, both across sibling branches within one ``assert`` and
+        across calls when a handle-level memo is shared
+        (:meth:`~repro.core.engine.EngineHandle.conditioning_memo`).  Cached
+        hits re-allocate their fresh variables live and rebind the shared
+        rewrite trees, so results are bit-identical to the unmemoised run.
+        ``False`` is the ablation knob.  Interned engine only.
+    condition_memo_limit:
+        Optional entry bound of the conditioning memo (``None`` keeps
+        per-run memos unbounded; handle-level memos fall back to
+        :data:`~repro.core.engine.DEFAULT_CONDITION_MEMO_LIMIT`).
     max_calls, time_limit:
         Optional budget limits forwarded to :class:`~repro.core.decompose.Budget`.
     engine:
@@ -122,6 +138,8 @@ class ExactConfig:
     subsumption_every_step: bool = False
     memoize: bool | None = None
     memo_limit: int | None = None
+    condition_memoize: bool = True
+    condition_memo_limit: int | None = None
     max_calls: int | None = None
     time_limit: float | None = None
     engine: str = "interned"
@@ -134,6 +152,8 @@ class ExactConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; known executors: {known}"
             )
+        if self.condition_memo_limit is not None and self.condition_memo_limit < 2:
+            raise ValueError("condition_memo_limit must be at least 2")
 
     @classmethod
     def indve(cls, heuristic: "str | Heuristic" = "minlog", **kwargs) -> "ExactConfig":

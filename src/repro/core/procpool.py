@@ -42,6 +42,7 @@ on a fresh pool.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import threading
 import time
@@ -49,10 +50,13 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
 from repro.core.decompose import Budget
+from repro.core.heuristics import component_dispatch_cost
 from repro.errors import WorkerPoolError
 from repro.testing import faults as _faults
 
 if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Sequence
+
     from repro.core.interned import InternedEngine, InternedSpace, PackedDescriptor
     from repro.core.probability import ExactConfig
 
@@ -114,37 +118,54 @@ class SpaceSnapshot:
         )
 
 
-def chunk_components(
-    components: "list[list[PackedDescriptor]]", chunks: int
-) -> "list[list[list[PackedDescriptor]]]":
-    """Split components into at most ``chunks`` contiguous, balanced batches.
+#: Chunks handed to the pool per worker: smaller chunks let an idle worker
+#: pick up remaining work while another grinds through a straggler, at the
+#: price of a few more dispatches (each dispatch is one pickled task).
+DISPATCH_FACTOR = 4
 
-    Contiguity keeps the flattened result order equal to the input order (the
-    deterministic-merge requirement); balance is by total descriptor count,
-    the best cheap proxy for evaluation cost.  Every batch is non-empty.
+
+def chunk_components(
+    components: "list[list[PackedDescriptor]]",
+    workers: int,
+    costs: "Sequence[int] | None" = None,
+) -> "list[list[int]]":
+    """Cost-ordered largest-first dispatch plan: batches of component *indices*.
+
+    Components are assigned greedily, most expensive first, to the currently
+    least-loaded batch (LPT scheduling) — ``costs[i]`` is component ``i``'s
+    evaluation-cost estimate (see
+    :func:`~repro.core.heuristics.component_dispatch_cost`; descriptor count
+    is the fallback when no costs are given).  Up to
+    ``workers × DISPATCH_FACTOR`` batches are built so stragglers stop
+    serialising the pool, and the returned plan is ordered heaviest batch
+    first, so the most expensive work is in flight before the tail.  Every
+    batch is non-empty, the batches partition ``range(len(components))``
+    exactly, and the plan is a pure function of ``(costs, workers)`` — the
+    caller scatters per-index results back into input order, which keeps the
+    merged output bit-identical to serial evaluation.
     """
     if not components:
         return []
-    chunks = min(chunks, len(components))
-    if chunks <= 1:
-        return [list(components)]
-    total = sum(len(component) for component in components)
-    batches: list[list[list]] = []
-    batch: list[list] = []
-    cumulative = 0
-    for index, component in enumerate(components):
-        batch.append(component)
-        cumulative += len(component)
-        remaining_components = len(components) - index - 1
-        remaining_batches = chunks - len(batches) - 1
-        boundary = total * (len(batches) + 1) / chunks
-        if remaining_batches and (
-            cumulative >= boundary or remaining_components == remaining_batches
-        ):
-            batches.append(batch)
-            batch = []
-    batches.append(batch)
-    return batches
+    if costs is None:
+        costs = [len(component) for component in components]
+    count = min(len(components), max(1, workers) * DISPATCH_FACTOR)
+    if count == 1:
+        return [list(range(len(components)))]
+    # Stable sort: equal-cost components keep input order, so the plan (and
+    # with it worker memo warm-up order) is deterministic.
+    order = sorted(range(len(components)), key=lambda i: (-costs[i], i))
+    heap = [(0, batch_index) for batch_index in range(count)]
+    batches: list[list[int]] = [[] for _ in range(count)]
+    loads = [0] * count
+    for index in order:
+        load, batch_index = heapq.heappop(heap)
+        batches[batch_index].append(index)
+        load += costs[index]
+        loads[batch_index] = load
+        heapq.heappush(heap, (load, batch_index))
+    plan = [batch for batch in batches if batch]
+    plan.sort(key=lambda batch: (-sum(costs[i] for i in batch), batch[0]))
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -334,10 +355,16 @@ class ProcessPoolBackend:
     ) -> list[tuple[float, float]]:
         """``(probability, worker_seconds)`` per component, in component order.
 
-        Components are chunked contiguously across the pool; a multi-chunk
+        Components are dispatched cost-ordered, largest first, in small
+        chunks (:func:`chunk_components` with the
+        :func:`~repro.core.heuristics.component_dispatch_cost` estimate), so
+        one expensive straggler no longer serialises the pool behind it;
+        per-index scattering restores input component order, keeping the
+        merged result bit-identical to serial evaluation.  A multi-chunk
         dispatch overlaps with other threads' concurrent ``compute`` calls.
         Worker-raised Python exceptions re-raise here with their own types
-        (first failing chunk in order wins, like the thread backend).
+        (first failing chunk in dispatch order wins, like the thread
+        backend).
 
         A pool broken mid-computation (worker killed, segfault) does *not*
         fail the computation outright: the broken pool is discarded, a fresh
@@ -350,7 +377,11 @@ class ProcessPoolBackend:
         if not components:
             return []
         snapshot = self.snapshot_of(space)
-        chunks = chunk_components(components, self.workers)
+        costs = [
+            component_dispatch_cost(component, snapshot) for component in components
+        ]
+        plan = chunk_components(components, self.workers, costs)
+        chunks = [[components[index] for index in batch] for batch in plan]
         fault = _faults.take("procpool.worker") if _faults.INJECTOR.armed else None
         outcomes, broken = self._run_chunks(
             snapshot, config, chunks, max_calls, time_limit, fault
@@ -384,7 +415,11 @@ class ProcessPoolBackend:
             raise error
         self.tasks_dispatched += len(chunks)
         self.components_dispatched += len(components)
-        return [entry for outcome in outcomes for entry in outcome]
+        results: list = [None] * len(components)
+        for batch, outcome in zip(plan, outcomes):
+            for index, entry in zip(batch, outcome):
+                results[index] = entry
+        return results
 
     def _run_chunks(
         self,

@@ -534,6 +534,46 @@ class Session:
         return self._handle.what_if(ws_set, variable, ps, value=value)
 
     # ------------------------------------------------------------------
+    # Conditioning through the shared handle (memoised assert)
+    # ------------------------------------------------------------------
+    def conditioned(self, condition, **conditioning_options):
+        """The posterior database for ``condition``, without mutating the prior.
+
+        Same contract as
+        :meth:`~repro.db.database.ProbabilisticDatabase.conditioned`, but the
+        recursion runs against the handle-level
+        :class:`~repro.core.conditioning.ConditioningMemo`, so repeating a
+        what-if assert (or one sharing subproblems with an earlier one) over
+        an unchanged prior replays cached rewrite trees instead of
+        re-decomposing.  Results are bit-identical to the unmemoised path.
+        """
+        database = self._require_database()
+        self.refresh()
+        memo = self._handle.conditioning_memo()
+        if memo is not None:
+            conditioning_options.setdefault("memo", memo)
+        return database.conditioned(condition, self.config, **conditioning_options)
+
+    def assert_condition(self, condition, **conditioning_options):
+        """Assert ``condition`` on the session's database, in place.
+
+        Routes through the same handle-level memo as :meth:`conditioned`,
+        then immediately rebinds the handle to the replaced (posterior)
+        world table — the one invalidation choke-point — so no later
+        computation or memo access can see pre-assert state.
+        """
+        database = self._require_database()
+        self.refresh()
+        memo = self._handle.conditioning_memo()
+        if memo is not None:
+            conditioning_options.setdefault("memo", memo)
+        summary = database.assert_condition(
+            condition, self.config, **conditioning_options
+        )
+        self.refresh()
+        return summary
+
+    # ------------------------------------------------------------------
     # Batched per-tuple confidence (the conf() aggregate)
     # ------------------------------------------------------------------
     def confidence_batch(

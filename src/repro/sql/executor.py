@@ -187,7 +187,10 @@ def _execute_assert(
 ) -> QueryResult:
     plan = plan_select(statement.query, database)
     condition = plan.relation.descriptors()
-    summary = database.assert_condition(condition, session.config)
+    # Route through the session so the assert hits the handle-level
+    # conditioning memo and the handle is rebound to the posterior table
+    # immediately (the invalidation choke-point).
+    summary = session.assert_condition(condition)
     return QueryResult(
         kind="assert",
         columns=("confidence",),

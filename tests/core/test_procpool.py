@@ -2,7 +2,7 @@
 
 The backend's contract: task units and the id-space snapshot pickle cheaply,
 worker-side engines compute exactly what the parent's engine would, chunking
-preserves component order, worker-raised repro errors re-raise with their own
+restores component order after cost-ordered dispatch, worker-raised repro errors re-raise with their own
 types without hurting the pool, and a pool broken outside Python is rebuilt
 with the lost chunks retried once — the computation still succeeds with
 bit-identical values, and only a pool that breaks *again* during the retry
@@ -17,6 +17,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
+from repro.core import procpool
 from repro.core.interned import InternedEngine
 from repro.core.probability import ExactConfig
 from repro.core.procpool import (
@@ -85,22 +86,45 @@ class TestSpaceSnapshot:
 class TestChunking:
     def test_empty_and_single(self):
         assert chunk_components([], 4) == []
-        assert chunk_components([[("d",)]], 4) == [[[("d",)]]]
+        assert chunk_components([[("d",)]], 4) == [[0]]
 
-    def test_order_preserved_and_batches_nonempty(self):
+    def test_exact_index_partition_and_batches_nonempty(self):
         components = [[("a",)] * size for size in (5, 1, 1, 7, 2, 2, 1)]
-        for chunks in (1, 2, 3, 4, 7, 12):
-            batches = chunk_components(components, chunks)
-            assert all(batches)
-            flattened = [component for batch in batches for component in batch]
-            assert flattened == components
-            assert len(batches) == min(chunks, len(components))
+        for workers in (1, 2, 3, 4, 7, 12):
+            plan = chunk_components(components, workers)
+            assert all(plan)
+            scattered = sorted(index for batch in plan for index in batch)
+            assert scattered == list(range(len(components)))
+            assert len(plan) <= min(
+                len(components), workers * procpool.DISPATCH_FACTOR
+            )
 
-    def test_balances_by_descriptor_count(self):
+    def test_largest_first_dispatch_order(self):
+        # Costs default to descriptor counts; the plan leads with the batch
+        # holding the most expensive component and the straggler sits alone.
+        components = [[("a",)] * size for size in (1, 2, 100, 3, 1)]
+        plan = chunk_components(components, 2)
+        assert plan[0][0] == 2
+        assert plan[0] == [2]
+        batch_costs = [sum(len(components[i]) for i in batch) for batch in plan]
+        assert batch_costs == sorted(batch_costs, reverse=True)
+
+    def test_lpt_balances_by_cost(self):
+        # Two workers, dispatch factor capped by component count: the greedy
+        # largest-first assignment splits 8+2 / 1×6 only when batches are
+        # forced down to two.
         components = [[("a",)] * size for size in (8, 1, 1, 1, 1, 1, 1, 2)]
-        batches = chunk_components(components, 2)
-        weights = [sum(len(c) for c in batch) for batch in batches]
-        assert weights == [8, 8]
+        costs = [len(c) for c in components]
+        plan = chunk_components(components, 1, costs)
+        # workers=1 still fans out DISPATCH_FACTOR batches for pipelining.
+        assert 1 <= len(plan) <= procpool.DISPATCH_FACTOR
+        loads = [sum(costs[i] for i in batch) for batch in plan]
+        assert max(loads) <= 8 + 2  # LPT keeps the straggler batch tight
+
+    def test_plan_is_deterministic(self):
+        components = [[("a",)] * size for size in (4, 4, 2, 2, 9, 1, 1)]
+        first = chunk_components(components, 3)
+        assert chunk_components(components, 3) == first
 
 
 class TestWorkerTask:
