@@ -39,6 +39,7 @@ from pathlib import Path
 
 from repro.core.wsset import WSSet
 from repro.db.session import Session
+from repro.obs.metrics import quantile_from_snapshot
 from repro.server.client import connect
 from repro.workloads.hard import HardCaseParameters, generate_hard_instance
 
@@ -166,6 +167,10 @@ def run_scenario(
         for thread in threads:
             thread.join(timeout=600)
         wall = time.perf_counter() - started
+        # Server-side view of the same scenario, from the per-op latency
+        # histograms behind the ``metrics`` op.
+        with connect(host, port) as session:
+            snapshot = session.metrics()
     finally:
         stop_server(process)
     if errors:
@@ -173,18 +178,51 @@ def run_scenario(
 
     flat = sorted(second for client in latencies for second in client)
     requests = len(flat)
+    histogram = snapshot["histograms"]['repro_server_op_seconds{op="confidence"}']
+    assert histogram["count"] == requests, (
+        f"server histogram saw {histogram['count']} confidence requests, "
+        f"clients issued {requests}"
+    )
+    client_ms = {
+        "mean": round(1000 * statistics.fmean(flat), 3),
+        "p50": round(1000 * _percentile(flat, 0.50), 3),
+        "p90": round(1000 * _percentile(flat, 0.90), 3),
+        "p99": round(1000 * _percentile(flat, 0.99), 3),
+        "max": round(1000 * flat[-1], 3),
+    }
+    server_ms = {
+        "p50": round(1000 * quantile_from_snapshot(histogram, 0.50), 3),
+        "p90": round(1000 * quantile_from_snapshot(histogram, 0.90), 3),
+        "p99": round(1000 * quantile_from_snapshot(histogram, 0.99), 3),
+        "count": histogram["count"],
+    }
+    agreement = {}
+    for quantile in ("p50", "p99"):
+        client_value, server_value = client_ms[quantile], server_ms[quantile]
+        # The server measures inside the frame (no wire round trip) with
+        # ~12% log-bucket resolution; the client adds RTT and scheduling.
+        # Agreement tolerance: 5 ms of fixed slack or 75% of the
+        # client-observed value, whichever is larger.
+        tolerance = max(5.0, 0.75 * client_value)
+        difference = abs(client_value - server_value)
+        assert difference <= tolerance, (
+            f"{quantile}: client {client_value}ms vs server {server_value}ms "
+            f"differ by {difference}ms (> {tolerance}ms)"
+        )
+        agreement[quantile] = {
+            "client_ms": client_value,
+            "server_ms": server_value,
+            "difference_ms": round(difference, 3),
+            "tolerance_ms": round(tolerance, 3),
+        }
     return {
         "clients": clients,
         "requests": requests,
         "wall_seconds": round(wall, 6),
         "throughput_rps": round(requests / wall, 3),
-        "latency_ms": {
-            "mean": round(1000 * statistics.fmean(flat), 3),
-            "p50": round(1000 * _percentile(flat, 0.50), 3),
-            "p90": round(1000 * _percentile(flat, 0.90), 3),
-            "p99": round(1000 * _percentile(flat, 0.99), 3),
-            "max": round(1000 * flat[-1], 3),
-        },
+        "latency_ms": client_ms,
+        "server_latency_ms": server_ms,
+        "latency_agreement": agreement,
     }
 
 
@@ -241,7 +279,9 @@ def main(argv: list[str] | None = None) -> Path:
             f"{clients:>3} client(s): {scenario['throughput_rps']:>9.1f} req/s  "
             f"p50 {scenario['latency_ms']['p50']:>8.2f}ms  "
             f"p99 {scenario['latency_ms']['p99']:>8.2f}ms  "
-            f"({scenario['requests']} requests in {scenario['wall_seconds']:.2f}s)"
+            f"(server-side p50 {scenario['server_latency_ms']['p50']:.2f}ms / "
+            f"p99 {scenario['server_latency_ms']['p99']:.2f}ms; "
+            f"{scenario['requests']} requests in {scenario['wall_seconds']:.2f}s)"
         )
 
     by_clients = {scenario["clients"]: scenario for scenario in scenarios}

@@ -43,6 +43,7 @@ from repro.approx.stopping import (
     optimal_stopping_rule,
 )
 from repro.core.wsset import WSSet
+from repro.obs.trace import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import Variable, WorldTable
@@ -383,6 +384,13 @@ def karp_luby_confidence(
     kl = KarpLubyEstimator(
         ws_set, world_table, seed=seed, estimator=estimator, interned=interned
     )
-    if use_optimal_stopping:
-        return kl.estimate_optimal(epsilon, delta, max_iterations=max_iterations)
-    return kl.estimate_with_bound(epsilon, delta)
+    with _span("karp_luby_rounds", epsilon=epsilon, delta=delta) as sp:
+        if use_optimal_stopping:
+            result = kl.estimate_optimal(
+                epsilon, delta, max_iterations=max_iterations
+            )
+        else:
+            result = kl.estimate_with_bound(epsilon, delta)
+        if sp.enabled:
+            sp.set(iterations=result.iterations)
+        return result

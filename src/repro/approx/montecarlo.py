@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro.approx.karp_luby import ApproximationResult
 from repro.approx.stopping import zero_one_estimator_iterations
 from repro.core.wsset import WSSet
+from repro.obs.trace import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import WorldTable
@@ -54,10 +55,11 @@ def naive_monte_carlo_confidence(
         iterations = zero_one_estimator_iterations(epsilon, delta)
     rng = random.Random(seed)
 
-    if interned:
-        hits = _sample_interned(ws_set, world_table, rng, iterations)
-    else:
-        hits = _sample_legacy(ws_set, world_table, rng, iterations)
+    with _span("montecarlo_sample", iterations=iterations):
+        if interned:
+            hits = _sample_interned(ws_set, world_table, rng, iterations)
+        else:
+            hits = _sample_legacy(ws_set, world_table, rng, iterations)
     return ApproximationResult(hits / iterations, iterations, epsilon, delta, "naive-mc")
 
 

@@ -56,6 +56,7 @@ from repro.errors import (
     UnknownValueError,
     UnknownVariableError,
 )
+from repro.obs.trace import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Mapping, Sequence
@@ -339,14 +340,15 @@ class Circuit:
                 raise InvalidDistributionError(
                     f"sweep probabilities must lie in [0, 1], got {p}"
                 )
-        if not HAVE_NUMPY:
-            results = []
-            for p in points:
-                rows = list(self.space.weights)
-                rows[variable_id] = self._sweep_row(variable_id, value_id, p)
-                results.append(self._forward(rows)[self.root])
-            return results
-        return self._vector_sweep(variable_id, value_id, points)
+        with _span("circuit_sweep", points=len(points), nodes=len(self.nodes)):
+            if not HAVE_NUMPY:
+                results = []
+                for p in points:
+                    rows = list(self.space.weights)
+                    rows[variable_id] = self._sweep_row(variable_id, value_id, p)
+                    results.append(self._forward(rows)[self.root])
+                return results
+            return self._vector_sweep(variable_id, value_id, points)
 
     def _sweep_columns(self, variable_id: int, value_id: int, points):
         """Per-value-id weight arrays of the swept variable (numpy path)."""

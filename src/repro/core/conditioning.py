@@ -80,6 +80,7 @@ from repro.core.interned import (
 from repro.core.probability import ExactConfig, make_engine
 from repro.core.wsset import WSSet
 from repro.errors import ConditioningError, ZeroProbabilityConditionError
+from repro.obs.trace import span as _span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.world_table import Value, Variable, WorldTable
@@ -235,9 +236,14 @@ def condition_wsset(
         )
         if config.simplify_subsumed:
             interned_condition = remove_subsumed_interned(interned_condition)
-        confidence, rewritten_packed = engine.run(
-            interned_condition, engine.intern_tuples(tagged)
-        )
+        with _span(
+            "conditioning",
+            tuples=len(tagged),
+            condition_descriptors=len(interned_condition),
+        ):
+            confidence, rewritten_packed = engine.run(
+                interned_condition, engine.intern_tuples(tagged)
+            )
         if confidence <= 0.0:
             raise ZeroProbabilityConditionError(
                 "the condition has probability zero; the posterior is undefined"

@@ -72,6 +72,8 @@ from repro.core.interned import (
 from repro.core.probability import ExactConfig, LegacyProbabilityEngine, make_engine
 from repro.core.procpool import ProcessPoolBackend
 from repro.errors import QueryError
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Sequence
@@ -247,6 +249,11 @@ class EngineHandle:
         # cache it survives _retire() and is selectively revalidated against
         # the current interned space on every conditioning_memo() access.
         self._cond_memo: ConditioningMemo | None = None
+        # Latency histograms (engine compute seconds, worker component
+        # seconds merged back from the process pool).  Sessions record their
+        # per-method request histograms here too, so one registry per handle
+        # covers the whole engine side of a deployment.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Binding / staleness
@@ -445,11 +452,26 @@ class EngineHandle:
         engine = self.engine()
         engine.reset_budget(self._budget(max_calls, time_limit))
         started = time.perf_counter()
-        try:
-            return run(engine)
-        finally:
-            self._wall_time += time.perf_counter() - started
-            self._computations += 1
+        with _trace.span("engine_evaluate") as sp:
+            # Memo lookups and closed forms are far too hot for per-frame
+            # spans; a trace attributes them by counter deltas instead.
+            before = (
+                engine.phase_counters()
+                if sp.enabled and hasattr(engine, "phase_counters")
+                else None
+            )
+            try:
+                return run(engine)
+            finally:
+                seconds = time.perf_counter() - started
+                self._wall_time += seconds
+                self._computations += 1
+                self.metrics.histogram("repro_engine_compute_seconds").record(
+                    seconds
+                )
+                if before is not None:
+                    after = engine.phase_counters()
+                    sp.set(**{key: after[key] - before[key] for key in before})
 
     def _budget(self, max_calls: int | None, time_limit: float | None) -> Budget:
         return Budget(
@@ -550,15 +572,22 @@ class EngineHandle:
             backend = self._ensure_backend() if jobs else None
         busy = 0.0
         computed: list[tuple[float, float]] = []
+        tracer = _trace.current_tracer()
+        span_sink: list[dict] | None = [] if tracer is not None else None
         try:
             if backend is not None:
-                computed = backend.compute(
-                    space,
-                    config,
-                    [component for _, _, _, component in jobs],
-                    max_calls,
-                    time_limit,
-                )
+                with _trace.span("dispatch", jobs=len(jobs), groups=len(targets)):
+                    computed = backend.compute(
+                        space,
+                        config,
+                        [component for _, _, _, component in jobs],
+                        max_calls,
+                        time_limit,
+                        metrics=self.metrics,
+                        spans=span_sink,
+                    )
+                    if tracer is not None and span_sink:
+                        tracer.attach_remote(span_sink)
                 busy = sum(seconds for _, seconds in computed)
         finally:
             elapsed = time.perf_counter() - started
@@ -630,7 +659,8 @@ class EngineHandle:
                 return circuit
             engine.reset_budget(self._budget(max_calls, time_limit))
             started = time.perf_counter()
-            circuit = CircuitRecorder(engine).record(interned)
+            with _trace.span("circuit_compile", descriptors=len(interned)):
+                circuit = CircuitRecorder(engine).record(interned)
             self._circuit_compile_time += time.perf_counter() - started
             self._circuits_compiled += 1
             self._circuit_cache[key] = circuit
@@ -716,23 +746,32 @@ class EngineHandle:
             for component in components
         ]
         try:
-            complement = 1.0
-            error = None
-            values = []
-            for future in futures:
-                try:
-                    values.append(future.result())
-                except Exception as exc:  # noqa: BLE001 - re-raised in order below
-                    values.append(None)
-                    if error is None:
-                        error = exc
-            if error is not None:
-                raise error
+            with _trace.span("dispatch", jobs=len(components)) as sp:
+                complement = 1.0
+                error = None
+                values = []
+                for future in futures:
+                    try:
+                        values.append(future.result())
+                    except Exception as exc:  # noqa: BLE001 - re-raised below
+                        values.append(None)
+                        if error is None:
+                            error = exc
+                if error is not None:
+                    raise error
+                if sp.enabled:
+                    # Thread-pool components overlap in time, so they are
+                    # summarised on the dispatch span instead of attached as
+                    # (would-be overlapping) child spans.
+                    sp.set(
+                        busy_seconds=sum(entry[1] for entry in values),
+                    )
             for value, _seconds in values:
                 complement *= 1.0 - value
             return 1.0 - complement
         finally:
             elapsed = time.perf_counter() - started
+            self.metrics.histogram("repro_engine_compute_seconds").record(elapsed)
             self._wall_time += elapsed
             self._parallel_wall_time += elapsed
             self._parallel_busy_time += sum(
@@ -823,45 +862,69 @@ class EngineHandle:
                 )
             engine = self.engine()
             space = engine.space
-            interned = deduplicate_interned(space.intern_wsset(ws_set))
-            if config.simplify_subsumed:
-                interned = remove_subsumed_interned(interned)
-            if len(interned) < _MIN_PARALLEL_DESCRIPTORS:
+            with _trace.span("decompose") as sp:
+                interned = deduplicate_interned(space.intern_wsset(ws_set))
+                if config.simplify_subsumed:
+                    interned = remove_subsumed_interned(interned)
+                components = (
+                    engine.components_of(interned)
+                    if len(interned) >= _MIN_PARALLEL_DESCRIPTORS
+                    else None
+                )
+                if sp.enabled:
+                    sp.set(
+                        descriptors=len(interned),
+                        components=1 if components is None else len(components),
+                    )
+            if components is None:
                 return self._timed(
                     lambda engine: engine.run(interned), max_calls, time_limit
                 )
-            components = engine.components_of(interned)
             cache = engine.cache if engine.memoize else None
             # Slots are either filled from the memo here or overwritten from
             # the workers' results below; every index is covered.
             values: list[float] = [0.0] * len(components)
             jobs: list[tuple[int, tuple | None, list]] = []
-            for index, component in enumerate(components):
-                key = tuple(sorted(component)) if cache is not None else None
-                if key is not None:
-                    hit = cache.get(key)
-                    if hit is not None:
-                        engine.cache_hits += 1
-                        values[index] = hit
-                        continue
-                jobs.append((index, key, component))
+            with _trace.span("memo_lookup") as sp:
+                for index, component in enumerate(components):
+                    key = tuple(sorted(component)) if cache is not None else None
+                    if key is not None:
+                        hit = cache.get(key)
+                        if hit is not None:
+                            engine.cache_hits += 1
+                            values[index] = hit
+                            continue
+                    jobs.append((index, key, component))
+                if sp.enabled:
+                    sp.set(
+                        components=len(components),
+                        hits=len(components) - len(jobs),
+                    )
             backend = self._ensure_backend()
         busy = 0.0
+        tracer = _trace.current_tracer()
+        span_sink: list[dict] | None = [] if tracer is not None else None
         try:
-            computed = (
-                backend.compute(
-                    space,
-                    config,
-                    [component for _, _, component in jobs],
-                    max_calls,
-                    time_limit,
+            with _trace.span("dispatch", jobs=len(jobs)):
+                computed = (
+                    backend.compute(
+                        space,
+                        config,
+                        [component for _, _, component in jobs],
+                        max_calls,
+                        time_limit,
+                        metrics=self.metrics,
+                        spans=span_sink,
+                    )
+                    if jobs
+                    else []
                 )
-                if jobs
-                else []
-            )
+                if tracer is not None and span_sink:
+                    tracer.attach_remote(span_sink)
             busy = sum(seconds for _, seconds in computed)
         finally:
             elapsed = time.perf_counter() - started
+            self.metrics.histogram("repro_engine_compute_seconds").record(elapsed)
             with self._lock:
                 self._wall_time += elapsed
                 self._parallel_wall_time += elapsed
@@ -870,10 +933,13 @@ class EngineHandle:
                 self._parallel_computations += 1
                 self._parallel_components += len(jobs)
         with self._lock:
-            for (index, key, _component), (value, _seconds) in zip(jobs, computed):
-                values[index] = value
-                if key is not None:
-                    cache[key] = value
+            with _trace.span("merge", jobs=len(jobs)):
+                for (index, key, _component), (value, _seconds) in zip(
+                    jobs, computed
+                ):
+                    values[index] = value
+                    if key is not None:
+                        cache[key] = value
         if len(values) == 1:
             return values[0]
         complement = 1.0

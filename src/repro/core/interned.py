@@ -446,6 +446,25 @@ class InternedEngine:
         self.budget = budget
         self._tick = budget.tick
 
+    def phase_counters(self) -> dict[str, int]:
+        """Cumulative hot-loop counters, cheap enough to read per phase.
+
+        Memo lookups and inclusion-exclusion closed forms run millions of
+        times per computation — far too hot to wrap in trace spans — so
+        traces attribute them by *deltas of these counters* across the
+        enclosing span instead (see :mod:`repro.obs`).
+        """
+        stats = self.stats
+        return {
+            "frames": stats.recursive_calls,
+            "closed_form_nodes": stats.closed_form_nodes,
+            "independent_nodes": stats.independent_nodes,
+            "variable_nodes": stats.variable_nodes,
+            "leaf_nodes": stats.leaf_nodes,
+            "bottom_nodes": stats.bottom_nodes,
+            "memo_hits": self.cache_hits,
+        }
+
     def components_of(
         self, interned: list[PackedDescriptor]
     ) -> list[list[PackedDescriptor]]:

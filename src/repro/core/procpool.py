@@ -43,7 +43,9 @@ on a fresh pool.
 from __future__ import annotations
 
 import heapq
+import logging
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -52,7 +54,10 @@ from typing import TYPE_CHECKING
 from repro.core.decompose import Budget
 from repro.core.heuristics import component_dispatch_cost
 from repro.errors import WorkerPoolError
+from repro.obs.metrics import MetricsRegistry
 from repro.testing import faults as _faults
+
+logger = logging.getLogger("repro.core.procpool")
 
 if TYPE_CHECKING:  # pragma: no cover
     from collections.abc import Sequence
@@ -184,13 +189,19 @@ def _compute_chunk(
     max_calls: int | None,
     time_limit: float | None,
     fault: "_faults.Fault | None" = None,
-) -> list[tuple[float, float]]:
+    trace: bool = False,
+) -> tuple[list[tuple[float, float]], dict]:
     """Worker task: evaluate components in order, one fresh budget each.
 
-    Returns ``(value, seconds)`` per component so the parent can account
-    worker busy time.  The per-worker engine persists across tasks of the
-    same generation, so its memo cache warms up across the many components
-    of one computation and across computations.  Each component re-arms a
+    Returns ``(entries, meta)``: one ``(value, seconds)`` entry per
+    component so the parent can account worker busy time, plus a telemetry
+    ``meta`` dict — a mergeable metrics snapshot of the per-component
+    latency histogram recorded *in this process*
+    (``repro_worker_component_seconds``), and, when ``trace`` is set,
+    one finished remote span payload per component for the parent's tracer
+    to adopt.  The per-worker engine persists across tasks of the same
+    generation, so its memo cache warms up across the many components of
+    one computation and across computations.  Each component re-arms a
     fresh budget — per-worker budget accounting, matching the thread
     backend.
 
@@ -211,13 +222,34 @@ def _compute_chunk(
         )
         _worker_engine = engine
         _worker_generation = snapshot.generation
+    registry = MetricsRegistry()
+    histogram = registry.histogram("repro_worker_component_seconds")
+    spans: list[dict] | None = [] if trace else None
     results = []
     for component in components:
         engine.reset_budget(Budget(max_calls, time_limit))
+        before = engine.phase_counters() if trace else None
         started = time.perf_counter()
         value = engine.run(component)
-        results.append((value, time.perf_counter() - started))
-    return results
+        seconds = time.perf_counter() - started
+        histogram.record(seconds)
+        results.append((value, seconds))
+        if spans is not None:
+            after = engine.phase_counters()
+            spans.append(
+                {
+                    "name": "worker_component",
+                    "seconds": seconds,
+                    "remote": True,
+                    "attrs": {
+                        "pid": os.getpid(),
+                        "descriptors": len(component),
+                        "frames": after["frames"] - before["frames"],
+                        "memo_hits": after["memo_hits"] - before["memo_hits"],
+                    },
+                }
+            )
+    return results, {"metrics": registry.snapshot(), "spans": spans}
 
 
 def _warm_up_worker(seconds: float) -> bool:
@@ -286,6 +318,11 @@ class ProcessPoolBackend:
             if current is not None:
                 self.pools_broken += 1
         if current is not None:
+            logger.warning(
+                "worker pool broke (%d so far); discarding, next computation "
+                "rebuilds it",
+                self.pools_broken,
+            )
             current.shutdown(wait=False, cancel_futures=True)
 
     def warm_up(self, *, per_worker_seconds: float = 0.05) -> None:
@@ -352,8 +389,18 @@ class ProcessPoolBackend:
         components: "list[list[PackedDescriptor]]",
         max_calls: int | None,
         time_limit: float | None,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        spans: "list[dict] | None" = None,
     ) -> list[tuple[float, float]]:
         """``(probability, worker_seconds)`` per component, in component order.
+
+        ``metrics`` (when given) receives each worker's merged histogram
+        snapshot — the parent-side fold of per-worker
+        ``repro_worker_component_seconds`` recordings.  Passing a ``spans``
+        list asks workers to emit one finished remote span payload per
+        component; they are appended here, in dispatch order, for the
+        caller's tracer to adopt.
 
         Components are dispatched cost-ordered, largest first, in small
         chunks (:func:`chunk_components` with the
@@ -382,9 +429,10 @@ class ProcessPoolBackend:
         ]
         plan = chunk_components(components, self.workers, costs)
         chunks = [[components[index] for index in batch] for batch in plan]
+        trace = spans is not None
         fault = _faults.take("procpool.worker") if _faults.INJECTOR.armed else None
         outcomes, broken = self._run_chunks(
-            snapshot, config, chunks, max_calls, time_limit, fault
+            snapshot, config, chunks, max_calls, time_limit, fault, trace
         )
         lost = [index for index, outcome in enumerate(outcomes) if outcome is None]
         if lost:
@@ -399,6 +447,7 @@ class ProcessPoolBackend:
                 max_calls,
                 time_limit,
                 None,
+                trace,
             )
             for index, outcome in zip(lost, retried):
                 outcomes[index] = outcome
@@ -417,8 +466,13 @@ class ProcessPoolBackend:
         self.components_dispatched += len(components)
         results: list = [None] * len(components)
         for batch, outcome in zip(plan, outcomes):
-            for index, entry in zip(batch, outcome):
+            entries, meta = outcome
+            for index, entry in zip(batch, entries):
                 results[index] = entry
+            if metrics is not None:
+                metrics.merge(meta.get("metrics") or {})
+            if spans is not None:
+                spans.extend(meta.get("spans") or ())
         return results
 
     def _run_chunks(
@@ -429,16 +483,17 @@ class ProcessPoolBackend:
         max_calls: int | None,
         time_limit: float | None,
         fault: "_faults.Fault | None",
+        trace: bool = False,
     ) -> tuple[list, BaseException | None]:
         """Dispatch chunks on the current pool; one outcome slot per chunk.
 
-        Each slot is the chunk's ``[(value, seconds), ...]`` list, the
-        worker-raised exception, or ``None`` when the pool broke before the
-        chunk's result arrived (the caller decides whether to retry those).
-        A break discards the executor (identity-checked, so concurrent
-        computations on the same dead pool discard it exactly once) and is
-        returned for exception chaining.  ``fault`` rides with the first
-        chunk only — chaos tests kill exactly one worker per armed charge.
+        Each slot is the chunk's ``(entries, meta)`` pair, the worker-raised
+        exception, or ``None`` when the pool broke before the chunk's result
+        arrived (the caller decides whether to retry those).  A break
+        discards the executor (identity-checked, so concurrent computations
+        on the same dead pool discard it exactly once) and is returned for
+        exception chaining.  ``fault`` rides with the first chunk only —
+        chaos tests kill exactly one worker per armed charge.
         """
         executor = self._ensure_executor()
         futures: list = []
@@ -454,6 +509,7 @@ class ProcessPoolBackend:
                         max_calls,
                         time_limit,
                         fault if index == 0 else None,
+                        trace,
                     )
                 )
             except BrokenExecutor as error:

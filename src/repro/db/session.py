@@ -60,6 +60,7 @@ from repro.db.confidence import ConfidenceRow
 from repro.db.urelation import URelation
 from repro.db.world_table import WorldTable
 from repro.errors import BudgetExceededError, QueryError
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.circuit import Circuit
@@ -135,6 +136,11 @@ class ConfidenceRequest:
     The sampling methods run unchanged (they are anytime-cheap already).
     The confidence server folds each request frame's remaining deadline into
     this field after admission.
+
+    ``trace: True`` asks the session to record a per-phase span tree for this
+    one request (see :mod:`repro.obs`): the answering
+    :class:`ConfidenceResult` carries it as :attr:`ConfidenceResult.trace`
+    and the session keeps it as :attr:`Session.last_trace`.
     """
 
     target: "WSSet | URelation | str"
@@ -146,6 +152,7 @@ class ConfidenceRequest:
     time_limit: float | None = None
     hybrid_scale: float | None = None
     deadline_ms: float | None = None
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -157,6 +164,10 @@ class ConfidenceRequest:
             raise ValueError(
                 f"deadline_ms must be a positive number of milliseconds, "
                 f"got {self.deadline_ms!r}"
+            )
+        if not isinstance(self.trace, bool):
+            raise ValueError(
+                f"trace must be a boolean, got {self.trace!r}"
             )
 
     def to_payload(self) -> dict:
@@ -175,6 +186,8 @@ class ConfidenceRequest:
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
+        if self.trace:
+            payload["trace"] = True
         return payload
 
     @classmethod
@@ -190,7 +203,7 @@ class ConfidenceRequest:
         if not isinstance(payload, dict):
             raise ValueError(f"confidence request must be an object, got {payload!r}")
         option_names = ("epsilon", "delta", "seed", "max_calls", "time_limit",
-                        "hybrid_scale", "deadline_ms")
+                        "hybrid_scale", "deadline_ms", "trace")
         unknown = set(payload) - {"target", "method", *option_names}
         if unknown:
             raise ValueError(f"unknown confidence request fields {sorted(unknown)}")
@@ -198,6 +211,8 @@ class ConfidenceRequest:
         for name in option_names:
             if payload.get(name) is not None:
                 options[name] = payload[name]
+        if "trace" in options and not isinstance(options["trace"], bool):
+            raise ValueError(f"trace must be a boolean, got {options['trace']!r}")
         return cls(
             target_from_payload(payload["target"]),
             payload.get("method", "exact"),
@@ -226,6 +241,9 @@ class ConfidenceResult:
     fallback_reason: str | None = None
     wall_time: float = 0.0
     stats: EngineStats = field(default_factory=EngineStats)
+    #: The request's span tree (see :mod:`repro.obs.trace`), present only
+    #: when the request asked for one with ``trace=True``.
+    trace: dict | None = None
 
     @property
     def is_exact(self) -> bool:
@@ -233,7 +251,7 @@ class ConfidenceResult:
 
     def to_payload(self) -> dict:
         """A JSON-serialisable form of this result (the wire representation)."""
-        return {
+        payload = {
             "value": self.value,
             "method": self.method,
             "requested_method": self.requested_method,
@@ -245,6 +263,9 @@ class ConfidenceResult:
             "wall_time": self.wall_time,
             "stats": self.stats.as_dict(),
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ConfidenceResult":
@@ -260,6 +281,7 @@ class ConfidenceResult:
             fallback_reason=payload.get("fallback_reason"),
             wall_time=payload.get("wall_time", 0.0),
             stats=EngineStats.from_dict(payload.get("stats", {})),
+            trace=payload.get("trace"),
         )
 
 
@@ -336,6 +358,7 @@ class Session:
         workers: int | None = None,
         executor: str | None = None,
         handle: EngineHandle | None = None,
+        trace: bool = False,
     ) -> None:
         if handle is not None:
             # Session-pool hook: share an existing engine handle (and thus its
@@ -372,6 +395,11 @@ class Session:
         self.hybrid_max_calls = hybrid_max_calls
         self.hybrid_time_limit = hybrid_time_limit
         self.hybrid_scale = hybrid_scale
+        # trace=True traces *every* request of this session (a per-request
+        # ConfidenceRequest(trace=True) works either way); the most recent
+        # span tree is kept on last_trace.
+        self._trace = trace
+        self.last_trace: dict | None = None
         if isinstance(source, WorldTable):
             self._database: "ProbabilisticDatabase | None" = None
             world_table = source
@@ -674,21 +702,42 @@ class Session:
     def _confidence_wsset(
         self, ws_set: WSSet, request: ConfidenceRequest
     ) -> ConfidenceResult:
+        tracing = request.trace or self._trace
+        tracer = (
+            _trace.Tracer("request", method=request.method) if tracing else None
+        )
+        previous = _trace.activate(tracer) if tracing else None
         started = time.perf_counter()
-        if request.deadline_ms is not None and request.method in ("exact", "hybrid"):
-            result = self._deadline_bounded(ws_set, request)
-        elif request.method == "exact":
-            result = self._exact(ws_set, request)
-        elif request.method == "karp_luby":
-            result = self._karp_luby(ws_set, request)
-        elif request.method == "montecarlo":
-            result = self._montecarlo(ws_set, request)
-        else:
-            result = self._hybrid(ws_set, request)
+        try:
+            if request.deadline_ms is not None and request.method in (
+                "exact",
+                "hybrid",
+            ):
+                result = self._deadline_bounded(ws_set, request)
+            elif request.method == "exact":
+                result = self._exact(ws_set, request)
+            elif request.method == "karp_luby":
+                result = self._karp_luby(ws_set, request)
+            elif request.method == "montecarlo":
+                result = self._montecarlo(ws_set, request)
+            else:
+                result = self._hybrid(ws_set, request)
+        finally:
+            if tracing:
+                _trace.deactivate(previous)
         # Whole-request wall time: covers the approximate backends and both
         # legs of a hybrid request, not just time inside the exact engine.
         result.wall_time = time.perf_counter() - started
         result.stats = self._handle.snapshot()
+        self._handle.metrics.histogram(
+            "repro_session_request_seconds", method=result.method
+        ).record(result.wall_time)
+        if tracer is not None:
+            # The root span takes the request's measured wall time, so a
+            # trace's phase self-times sum exactly to wall_time.
+            payload = tracer.finish(result.wall_time)
+            result.trace = payload
+            self.last_trace = payload
         return result
 
     def _exact(self, ws_set: WSSet, request: ConfidenceRequest) -> ConfidenceResult:
@@ -994,7 +1043,7 @@ class SessionPool:
     #: members (everything engine-related lives in the shared handle).
     _MEMBER_OPTIONS = (
         "epsilon", "delta", "seed",
-        "hybrid_max_calls", "hybrid_time_limit", "hybrid_scale",
+        "hybrid_max_calls", "hybrid_time_limit", "hybrid_scale", "trace",
     )
 
     def __init__(

@@ -1,0 +1,46 @@
+"""Observability: dependency-free metrics and per-request tracing.
+
+The paper's whole performance story is about *where time goes* inside
+confidence computation — ⊗/⊕ decomposition, inclusion-exclusion closed
+forms, memo hits, approximation fallback — and this package is how the
+running system answers that question about itself:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and fixed log-bucket histograms.  Histograms record in
+  O(1) and answer approximate p50/p90/p99; snapshots are JSON-safe and
+  mergeable, which is what lets process-pool workers ship their histograms
+  back with chunk results and the parent fold them in.
+* :mod:`repro.obs.trace` — per-request :class:`Span` trees on the monotonic
+  clock.  Tracing is off unless a request (or session) turns it on; the
+  disabled path is a single thread-local read, cheap enough to leave the
+  instrumentation compiled into every hot path (guarded by
+  ``benchmarks/bench_obs_overhead.py``).
+
+Engine phases that are too hot to wrap in spans per frame (memo lookups,
+inclusion-exclusion closed forms — millions per computation) are attributed
+by *counter deltas attached to the enclosing span* instead
+(:meth:`repro.core.interned.InternedEngine.phase_counters`), so a trace
+still says how many frames, memo hits and closed forms a phase spent
+without per-frame overhead.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    quantile_from_snapshot,
+    render_prometheus,
+)
+from repro.obs.trace import Span, Tracer, current_tracer, span
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "quantile_from_snapshot",
+    "render_prometheus",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+]

@@ -1,0 +1,370 @@
+"""Thread-safe counters, gauges and log-bucket histograms (no dependencies).
+
+A :class:`MetricsRegistry` names instruments by ``(name, labels)``; the
+formatted key (``name{label="value",...}``, Prometheus style) is also the key
+of the JSON-safe :meth:`MetricsRegistry.snapshot`.  Snapshots merge
+(:func:`merge_snapshots`, :meth:`MetricsRegistry.merge`), which is what lets
+process-pool workers record into a private registry and ship the snapshot
+back with their chunk results for the parent to fold in.
+
+Histograms use **fixed log-spaced buckets**: ten buckets per decade from
+1 µs to 1000 s.  Recording is O(1) (one bisect into precomputed bounds plus
+a few scalar updates under the instrument's lock) and quantiles come back as
+the geometric midpoint of the bucket holding the target rank, clamped into
+the observed ``[min, max]`` — at ten buckets per decade the relative error
+of a quantile is at most ~12%, plenty for p50/p90/p99 latency dashboards and
+far cheaper than storing samples.
+
+:func:`render_prometheus` turns a snapshot into Prometheus text exposition
+(counters and gauges verbatim, histograms as summaries with
+``quantile="0.5" / "0.9" / "0.99"`` series plus ``_sum`` / ``_count``),
+served by the confidence server's ``--metrics-port`` endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+
+#: Histogram geometry: ten log-spaced buckets per decade …
+BUCKETS_PER_DECADE = 10
+
+#: … spanning 1 µs to 1000 s (plus an underflow and an overflow bucket).
+BUCKET_LOW = 1e-6
+BUCKET_DECADES = 9
+
+#: Upper bounds of the finite buckets; bucket ``i`` covers
+#: ``(BOUNDS[i-1], BOUNDS[i]]`` (bucket 0 is the underflow bucket
+#: ``(0, BUCKET_LOW]`` and everything above the last bound lands in one
+#: overflow bucket).
+BOUNDS: tuple[float, ...] = tuple(
+    BUCKET_LOW * 10.0 ** (i / BUCKETS_PER_DECADE)
+    for i in range(BUCKET_DECADES * BUCKETS_PER_DECADE + 1)
+)
+
+#: The quantiles rendered by the Prometheus exposition.
+RENDERED_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _format_key(name: str, labels: dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``name{a="b"}`` -> ``("name", 'a="b"')`` (labels empty when absent)."""
+    if key.endswith("}") and "{" in key:
+        name, _, rest = key.partition("{")
+        return name, rest[:-1]
+    return key, ""
+
+
+def _with_labels(name: str, labels: str, extra: str = "") -> str:
+    inner = ",".join(part for part in (labels, extra) if part)
+    return f"{name}{{{inner}}}" if inner else name
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def set(self, value: int) -> None:
+        """Mirror an externally maintained monotonic source (e.g. an
+        admission queue's shed total) into the registry at snapshot time."""
+        with self._lock:
+            self.value = value
+
+
+class Gauge:
+    """A point-in-time float (queue depth, in-flight count, …)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """A fixed log-bucket histogram of non-negative values (seconds, sizes).
+
+    ``record`` is O(1); ``quantile`` walks the (at most ~92) buckets.  The
+    bucket layout is a module-level constant, so snapshots from different
+    processes always merge bucket-for-bucket.
+    """
+
+    __slots__ = ("_lock", "_counts", "count", "total", "low", "high")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # counts[0] is the underflow bucket, counts[-1] the overflow bucket.
+        self._counts = [0] * (len(BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.low = math.inf
+        self.high = -math.inf
+
+    def record(self, value: float) -> None:
+        index = bisect_right(BOUNDS, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.low:
+                self.low = value
+            if value > self.high:
+                self.high = value
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (0 when nothing was recorded)."""
+        with self._lock:
+            return _bucket_quantile(
+                self._counts, self.count, self.low, self.high, q
+            )
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """A JSON-safe, mergeable snapshot (buckets stored sparsely)."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.low if self.count else None,
+                "max": self.high if self.count else None,
+                "buckets": [
+                    [index, count]
+                    for index, count in enumerate(self._counts)
+                    if count
+                ],
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. shipped back by a worker) in."""
+        with self._lock:
+            for index, count in snapshot.get("buckets", ()):
+                self._counts[index] += count
+            self.count += snapshot.get("count", 0)
+            self.total += snapshot.get("sum", 0.0)
+            low = snapshot.get("min")
+            if low is not None and low < self.low:
+                self.low = low
+            high = snapshot.get("max")
+            if high is not None and high > self.high:
+                self.high = high
+
+
+def _bucket_quantile(
+    counts: list[int], count: int, low: float, high: float, q: float
+) -> float:
+    if not count:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        seen += bucket_count
+        if seen >= rank:
+            if index == 0:
+                estimate = BUCKET_LOW / 2.0
+            elif index >= len(BOUNDS):
+                estimate = BOUNDS[-1]
+            else:
+                estimate = math.sqrt(BOUNDS[index - 1] * BOUNDS[index])
+            return min(max(estimate, low), high)
+    return high  # pragma: no cover - seen == count always triggers above
+
+
+def quantile_from_snapshot(snapshot: dict, q: float) -> float:
+    """The approximate ``q``-quantile of a histogram :meth:`~Histogram.snapshot`.
+
+    Lets clients (benchmarks, dashboards) compute percentiles from the wire
+    form without rebuilding a :class:`Histogram`.
+    """
+    counts = [0] * (len(BOUNDS) + 1)
+    for index, count in snapshot.get("buckets", ()):
+        counts[index] += count
+    total = snapshot.get("count", 0)
+    low = snapshot.get("min")
+    high = snapshot.get("max")
+    return _bucket_quantile(
+        counts,
+        total,
+        low if low is not None else 0.0,
+        high if high is not None else math.inf,
+        q,
+    )
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instrument creation is get-or-create under the registry lock; updates
+    take only the instrument's own lock, so concurrent recording from the
+    server's event loop, session worker threads and the engine never
+    serialises on one global lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._instrument(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._instrument(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._instrument(self._histograms, Histogram, name, labels)
+
+    def _instrument(self, table: dict, cls, name: str, labels: dict):
+        key = _format_key(name, labels)
+        instrument = table.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(key, cls())
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far, as one JSON-safe object.
+
+        This is the ``metrics`` payload of the confidence server's wire
+        protocol (see ``docs/protocol.md``).
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {key: counter.value for key, counter in counters.items()},
+            "gauges": {key: gauge.value for key, gauge in gauges.items()},
+            "histograms": {
+                key: histogram.snapshot() for key, histogram in histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms merge bucket-for-bucket, gauges take the
+        incoming value (a gauge is a point-in-time reading; the most recent
+        write wins).  This is the parent side of worker histogram shipping.
+        """
+        # Instruments are re-derived from the already formatted keys: keys
+        # round-trip verbatim, so no label parsing is needed.
+        for key, value in (snapshot.get("counters") or {}).items():
+            self._counter_by_key(key).inc(value)
+        for key, value in (snapshot.get("gauges") or {}).items():
+            self._gauge_by_key(key).set(value)
+        for key, payload in (snapshot.get("histograms") or {}).items():
+            self._histogram_by_key(key).merge(payload)
+
+    def _counter_by_key(self, key: str) -> Counter:
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
+        return instrument
+
+    def _gauge_by_key(self, key: str) -> Gauge:
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
+        return instrument
+
+    def _histogram_by_key(self, key: str) -> Histogram:
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram())
+        return instrument
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Combine several :meth:`MetricsRegistry.snapshot` objects into one.
+
+    Used by the server to expose its own registry and the engine handle's
+    registry as one scrape; duplicate keys combine like
+    :meth:`MetricsRegistry.merge`.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Prometheus text exposition (version 0.0.4) of a snapshot.
+
+    Histograms render as summaries: one series per quantile of
+    :data:`RENDERED_QUANTILES` plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(snapshot.get("counters") or {}):
+        name, _ = _split_key(key)
+        declare(name, "counter")
+        lines.append(f"{key} {snapshot['counters'][key]}")
+    for key in sorted(snapshot.get("gauges") or {}):
+        name, _ = _split_key(key)
+        declare(name, "gauge")
+        lines.append(f"{key} {_format_value(snapshot['gauges'][key])}")
+    for key in sorted(snapshot.get("histograms") or {}):
+        name, labels = _split_key(key)
+        payload = snapshot["histograms"][key]
+        declare(name, "summary")
+        for q in RENDERED_QUANTILES:
+            series = _with_labels(name, labels, f'quantile="{q:g}"')
+            lines.append(
+                f"{series} {_format_value(quantile_from_snapshot(payload, q))}"
+            )
+        lines.append(
+            f"{_with_labels(name + '_sum', labels)} "
+            f"{_format_value(payload.get('sum', 0.0))}"
+        )
+        lines.append(
+            f"{_with_labels(name + '_count', labels)} {payload.get('count', 0)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))

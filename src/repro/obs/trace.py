@@ -1,0 +1,230 @@
+"""Per-request span trees on the monotonic clock.
+
+A :class:`Tracer` is activated for one request (by :class:`repro.db.session.Session`
+when the request asks for a trace) and bound to the current thread; every
+instrumented phase in the engine then opens a child span via the module-level
+:func:`span` helper::
+
+    with span("decompose", descriptors=len(interned)) as sp:
+        ...
+        sp.set(components=len(components))
+
+When no tracer is active, :func:`span` returns a shared no-op singleton — the
+disabled cost is one ``threading.local`` attribute read plus a constant
+context-manager enter/exit, which is what keeps the instrumentation cheap
+enough to leave compiled into every hot path
+(``benchmarks/bench_obs_overhead.py`` guards this at <3%).
+
+Span payloads are plain JSON dicts::
+
+    {"name": ..., "seconds": ..., "self_seconds": ...,
+     "attrs": {...}, "remote": bool, "children": [...]}
+
+``self_seconds`` is ``seconds`` minus the time covered by child spans —
+phase self-times over a trace therefore sum to the request wall time (the
+acceptance criterion), *provided children don't overlap in time*.  Spans
+shipped back from process-pool workers (``remote: true``) carry the worker's
+own measured seconds and are attached as already-finished children via
+:meth:`Tracer.attach_remote`; with one worker they nest like local spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "span",
+]
+
+
+class Span:
+    """One timed phase; a node in the request's span tree."""
+
+    __slots__ = ("name", "attrs", "seconds", "children", "remote", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = attrs or {}
+        self.seconds = 0.0
+        self.children: list[Span] = []
+        self.remote = False
+        self._start = 0.0
+
+    #: Instrumented code checks this before computing expensive attributes
+    #: (e.g. counter deltas) — the no-op span reports ``False``.
+    enabled = True
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes (counts, sizes, counter deltas) to the span."""
+        self.attrs.update(attrs)
+
+    def to_payload(self) -> dict[str, Any]:
+        child_seconds = sum(child.seconds for child in self.children)
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "self_seconds": max(0.0, self.seconds - child_seconds),
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if self.remote:
+            payload["remote"] = True
+        if self.children:
+            payload["children"] = [child.to_payload() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Span":
+        """Rebuild a (finished) span from its wire form."""
+        built = cls(str(payload.get("name", "?")), dict(payload.get("attrs") or {}))
+        built.seconds = float(payload.get("seconds", 0.0))
+        built.remote = bool(payload.get("remote", False))
+        built.children = [
+            cls.from_payload(child) for child in payload.get("children", ())
+        ]
+        return built
+
+
+class _NoOpSpan:
+    """The shared disabled span: every operation is a cheap constant."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoOpSpan()
+
+
+class _ActiveSpan:
+    """Context manager pushing/popping one :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "span")
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", node: Span) -> None:
+        self._tracer = tracer
+        self.span = node
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects the span tree for one request on one thread."""
+
+    __slots__ = ("root", "_stack")
+
+    def __init__(self, name: str = "request", **attrs: Any) -> None:
+        self.root = Span(name, dict(attrs))
+        self.root._start = time.monotonic()
+        self._stack: list[Span] = [self.root]
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        return _ActiveSpan(self, Span(name, dict(attrs)))
+
+    def _push(self, node: Span) -> None:
+        node._start = time.monotonic()
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+
+    def _pop(self, node: Span) -> None:
+        node.seconds = time.monotonic() - node._start
+        # Tolerate mismatched exits (a phase that leaked spans) rather than
+        # corrupting the tree: pop back to (and including) the node.
+        while self._stack and self._stack[-1] is not node:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if not self._stack:
+            self._stack.append(self.root)
+
+    def attach_remote(self, payloads: Sequence[dict[str, Any]]) -> None:
+        """Adopt finished spans shipped back from process-pool workers.
+
+        Each payload becomes an already-timed child of the currently open
+        span, marked ``remote: true``.
+        """
+        parent = self._stack[-1]
+        for payload in payloads:
+            node = Span.from_payload(payload)
+            node.remote = True
+            parent.children.append(node)
+
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def finish(self, seconds: float | None = None) -> dict[str, Any]:
+        """Close the root span and return the trace payload.
+
+        ``seconds`` overrides the root duration with an externally measured
+        wall time (the session's own request timer) so the trace and the
+        reported ``wall_time`` agree exactly.
+        """
+        self.root.seconds = (
+            seconds
+            if seconds is not None
+            else time.monotonic() - self.root._start
+        )
+        return self.root.to_payload()
+
+
+_local = threading.local()
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer bound to this thread, or ``None`` when tracing is off."""
+    return getattr(_local, "tracer", None)
+
+
+def activate(tracer: Tracer | None) -> Tracer | None:
+    """Bind ``tracer`` to this thread; returns the previous binding.
+
+    Restore with ``deactivate(prev)`` in a ``finally`` so nested traced
+    requests (e.g. a traced session inside a traced batch) compose.
+    """
+    previous = getattr(_local, "tracer", None)
+    _local.tracer = tracer
+    return previous
+
+
+def deactivate(previous: Tracer | None) -> None:
+    _local.tracer = previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a child span on the active tracer, or a no-op when tracing is off.
+
+    This is the one call sprinkled through hot paths; the disabled branch is
+    a single thread-local read returning a shared constant.
+    """
+    tracer = getattr(_local, "tracer", None)
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+def iter_spans(payload: dict[str, Any]) -> Iterator[dict[str, Any]]:
+    """Depth-first walk over a trace payload (root included)."""
+    yield payload
+    for child in payload.get("children", ()):
+        yield from iter_spans(child)

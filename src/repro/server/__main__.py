@@ -22,13 +22,61 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import logging
 import signal
 import sys
+import time
 from pathlib import Path
 
 from repro.db.database import ProbabilisticDatabase
 from repro.server.protocol import DEFAULT_MAX_FRAME_BYTES, DEFAULT_PORT
 from repro.server.server import DEFAULT_GRACE, ConfidenceServer
+
+logger = logging.getLogger("repro.server.cli")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line (``--log-json``).
+
+    Messages that are already JSON objects (the slow-query log) are embedded
+    as-is under ``"data"`` instead of double-encoded as a string.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        entry: dict = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        if message.startswith("{"):
+            try:
+                entry["data"] = json.loads(message)
+            except ValueError:
+                entry["message"] = message
+            else:
+                return json.dumps(entry, sort_keys=True)
+        entry["message"] = message
+        if record.exc_info:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def configure_logging(level: str, json_logs: bool) -> None:
+    """Route every server log through one stdout handler.
+
+    The plain format is message-only so the readiness banner stays exactly
+    ``listening on HOST:PORT`` — the first stdout line, which the benchmark
+    harness and the CI smoke jobs parse to discover an ephemeral port.
+    """
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(
+        JsonLogFormatter() if json_logs else logging.Formatter("%(message)s")
+    )
+    root = logging.getLogger()
+    root.handlers[:] = [handler]
+    root.setLevel(getattr(logging, level.upper()))
 
 
 def build_database(spec: str) -> ProbabilisticDatabase:
@@ -151,6 +199,25 @@ def parse_arguments(argv: list[str] | None = None) -> argparse.Namespace:
         help="admission queue depth before requests are shed as 'overloaded' "
              "(default: 4 x the pool size)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text exposition over HTTP on this port "
+             "(0 picks an ephemeral port; default: off)",
+    )
+    parser.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="log confidence requests slower than this as structured JSON "
+             "lines with their span tree attached (default: off)",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity (default: info; 'debug' includes shed events)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line instead of plain text",
+    )
     return parser.parse_args(argv)
 
 
@@ -167,13 +234,19 @@ async def _serve(arguments: argparse.Namespace) -> None:
         max_frame_bytes=arguments.max_frame_bytes,
         max_inflight=arguments.max_inflight,
         max_queue=arguments.max_queue,
+        metrics_port=arguments.metrics_port,
+        slow_query_ms=arguments.slow_query_ms,
     )
     # Bootstrap strictly before binding: a client connecting to a well-known
     # port must never observe the pre-``--load`` database.
     if arguments.load is not None:
         await server.bootstrap(arguments.load.read_text(encoding="utf-8"))
     host, port = await server.start()
-    print(f"listening on {host}:{port}", flush=True)
+    # The readiness banner must stay the first stdout line — the benchmark
+    # harness and the CI smoke jobs parse it to discover an ephemeral port.
+    logger.info("listening on %s:%s", host, port)
+    if server.metrics_address is not None:
+        logger.info("metrics on %s:%s", *server.metrics_address)
 
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -186,11 +259,12 @@ async def _serve(arguments: argparse.Namespace) -> None:
         await stop.wait()
     finally:
         await server.stop(grace=arguments.grace)
-    print("server stopped", flush=True)
+    logger.info("server stopped")
 
 
 def main(argv: list[str] | None = None) -> int:
     arguments = parse_arguments(argv)
+    configure_logging(arguments.log_level, arguments.log_json)
     try:
         asyncio.run(_serve(arguments))
     except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback

@@ -521,6 +521,16 @@ class ServerSession(_SessionCalls):
         """The raw ``stats`` frame: engine snapshot plus server counters."""
         return self._call("stats")
 
+    def metrics(self) -> dict:
+        """The server's merged metrics snapshot (registry schema, lock-free).
+
+        Counters, gauges and histogram snapshots keyed by Prometheus-style
+        series name; feed histograms to
+        :func:`repro.obs.metrics.quantile_from_snapshot` for p50/p90/p99.
+        Requires a protocol-version-3 server.
+        """
+        return self._call("metrics")["metrics"]
+
     def statistics(self) -> EngineStats:
         """The shared engine's aggregate statistics (like ``Session.statistics``)."""
         return EngineStats.from_dict(self.server_stats()["engine"])
@@ -710,6 +720,10 @@ class AsyncServerSession(_SessionCalls):
 
     async def server_stats(self) -> dict:
         return await self._call("stats")
+
+    async def metrics(self) -> dict:
+        """The server's merged metrics snapshot (see the blocking twin)."""
+        return (await self._call("metrics"))["metrics"]
 
     async def statistics(self) -> EngineStats:
         return EngineStats.from_dict((await self.server_stats())["engine"])

@@ -23,6 +23,13 @@ Operations (see ``docs/protocol.md`` for the full schemas):
 ``stats``
     Engine statistics (:meth:`repro.core.engine.EngineStats.as_dict`) plus
     server-level counters.
+``metrics`` (since version 3)
+    A merged :meth:`repro.obs.metrics.MetricsRegistry.snapshot` of the
+    server's and the engine handle's instruments: per-op and per-method
+    latency histograms (p50/p90/p99 derivable client-side via
+    :func:`repro.obs.metrics.quantile_from_snapshot`), admission-queue
+    depth, in-flight and shed/deadline counters.  Like ``health`` it is
+    answered without queueing, so it works under full load.
 ``confidence``
     One :class:`~repro.db.session.ConfidenceRequest`
     (:meth:`~repro.db.session.ConfidenceRequest.to_payload` form, including
@@ -120,6 +127,7 @@ OPS = (
     "ping",
     "health",
     "stats",
+    "metrics",
     "confidence",
     "confidence_many",
     "confidence_batch",
@@ -129,7 +137,12 @@ OPS = (
 )
 
 #: Operations that exist only from the given protocol version on.
-OPS_SINCE_VERSION = {"confidence_many": 2, "health": 3, "what_if": 3}
+OPS_SINCE_VERSION = {
+    "confidence_many": 2,
+    "health": 3,
+    "what_if": 3,
+    "metrics": 3,
+}
 
 #: Operations a client may safely retry after a transport failure.
 #:
@@ -146,6 +159,7 @@ IDEMPOTENT_OPS = frozenset(
         "ping",
         "health",
         "stats",
+        "metrics",
         "confidence",
         "confidence_many",
         "confidence_batch",

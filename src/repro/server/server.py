@@ -51,12 +51,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import logging
 import time
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.db.session import ConfidenceRequest, SessionPool, target_from_payload
+from repro.obs.metrics import MetricsRegistry, merge_snapshots, render_prometheus
 from repro.errors import (
     DeadlineExceededError,
     OverloadedError,
@@ -81,6 +83,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.db.session import ConfidenceResult
 
 logger = logging.getLogger("repro.server")
+
+#: Slow requests go here as one JSON object per line (``--slow-query-ms``).
+slow_query_logger = logging.getLogger("repro.server.slowquery")
 
 #: ConfidenceRequest option names accepted in ``confidence_batch`` frames.
 _BATCH_OPTIONS = ("epsilon", "delta", "seed", "max_calls", "time_limit", "hybrid_scale")
@@ -146,6 +151,10 @@ class _AdmissionQueue:
     def shed(self, message: str) -> None:
         """Refuse a request with a typed, retryable ``overloaded`` error."""
         self.shed_total += 1
+        logger.debug(
+            "shed request (%d shed so far, %d waiting): %s",
+            self.shed_total, self._waiting, message,
+        )
         raise OverloadedError(message, retry_after_ms=self.retry_after_ms())
 
     @contextlib.asynccontextmanager
@@ -253,11 +262,19 @@ class ConfidenceServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         max_inflight: int | None = None,
         max_queue: int | None = None,
+        metrics_port: int | None = None,
+        slow_query_ms: float | None = None,
     ) -> None:
         self.database = database
         self._host = host
         self._port = port
         self._max_frame_bytes = max_frame_bytes
+        self._metrics_port = metrics_port
+        self._slow_query_ms = slow_query_ms
+        #: Server-side instruments (per-op latency histograms, request and
+        #: error counters, pressure gauges).  The ``metrics`` op and the HTTP
+        #: exposition endpoint merge this with the engine handle's registry.
+        self.metrics = MetricsRegistry()
         options = {"epsilon": epsilon, "delta": delta, "workers": workers}
         if executor is not None:
             # "process" is the scale-out mode: cold exact computations from
@@ -276,6 +293,7 @@ class ConfidenceServer:
             max_queue if max_queue is not None else 4 * pool_size,
         )
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._started = time.monotonic()
         self._connections_total = 0
@@ -303,6 +321,10 @@ class ConfidenceServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
+        if self._metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics_http, self._host, self._metrics_port
+            )
         return self.address
 
     @property
@@ -311,6 +333,15 @@ class ConfidenceServer:
         if self._server is None:
             raise RuntimeError("server not started")
         sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The HTTP exposition endpoint's ``(host, port)``, if enabled."""
+        if self._metrics_server is None:
+            return None
+        sock = self._metrics_server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
 
@@ -348,6 +379,10 @@ class ConfidenceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if grace > 0 and self._inflight:
             with contextlib.suppress(TimeoutError):
                 await asyncio.wait_for(self._idle.wait(), grace)
@@ -497,28 +532,39 @@ class ConfidenceServer:
             time.monotonic() + deadline_ms / 1000.0 if deadline_ms is not None else None
         )
         self._requests_total += 1
+        started = time.monotonic()
+        code: str | None = None
         try:
             result = await self._dispatch(op, args, deadline)
         except ReproError as error:
             self._errors_total += 1
             if isinstance(error, DeadlineExceededError):
                 self._deadline_exceeded_total += 1
+            code = protocol.error_code(error)
             return error_frame(
-                id, protocol.error_code(error), str(error),
+                id, code, str(error),
                 protocol.error_detail(error), version=version,
             )
         except (KeyError, TypeError, ValueError) as error:
             self._errors_total += 1
+            code = "malformed-frame"
             return error_frame(
-                id, "malformed-frame", f"bad arguments for {op}: {error}",
+                id, code, f"bad arguments for {op}: {error}",
                 version=version,
             )
         except Exception as error:  # noqa: BLE001 - a request must never kill the server
             logger.exception("internal error answering %s", op)
             self._errors_total += 1
+            code = "internal"
             return error_frame(
                 id, "internal", f"{type(error).__name__}: {error}", version=version
             )
+        finally:
+            elapsed = time.monotonic() - started
+            self.metrics.histogram("repro_server_op_seconds", op=op).record(elapsed)
+            self.metrics.counter("repro_server_requests_total", op=op).inc()
+            if code is not None:
+                self.metrics.counter("repro_server_errors_total", code=code).inc()
         return ok_frame(id, result, version=version)
 
     # ------------------------------------------------------------------
@@ -538,6 +584,10 @@ class ConfidenceServer:
             return {"pong": True, "protocol": PROTOCOL_VERSION}
         if op == "health":
             return self._health()
+        if op == "metrics":
+            # Lock-free like ``health``: metrics must stay scrapeable while
+            # the gate is held exclusively or the admission queue is full.
+            return self._metrics_payload()
         if op == "stats":
             # Shared gate: the database fields of the snapshot must not read
             # a half-swapped database during an exclusive assert.
@@ -588,9 +638,21 @@ class ConfidenceServer:
             request = self._fold_deadline(
                 ConfidenceRequest.from_payload(args), remaining_ms
             )
+            # With a slow-query threshold armed, trace server-side even when
+            # the client did not ask: a slow query's log line should carry
+            # its span tree, and by the time we know it was slow it is too
+            # late to trace it.  The forced trace is stripped again below.
+            forced_trace = self._slow_query_ms is not None and not request.trace
+            if forced_trace:
+                request = replace(request, trace=True)
+            started = time.monotonic()
             async with self._gate:
                 result = await self._pool.acquire().query(request)
-            return result.to_payload()
+            payload = result.to_payload()
+            self._log_slow_query(op, started, payload)
+            if forced_trace:
+                payload.pop("trace", None)
+            return payload
         if op == "confidence_many":
             requests = [
                 self._fold_deadline(request, remaining_ms)
@@ -644,6 +706,101 @@ class ConfidenceServer:
             "max_queue": self._admission.max_queue,
             "uptime_seconds": time.monotonic() - self._started,
         }
+
+    def _log_slow_query(self, op: str, started: float, payload: dict) -> None:
+        """Emit one structured JSON line when a request overran the threshold.
+
+        The line carries the request's span tree (``payload["trace"]``, forced
+        server-side when a threshold is armed), so a slow query is diagnosable
+        from the log alone: which phase — decompose, dispatch, worker
+        components, merge — ate the time.
+        """
+        if self._slow_query_ms is None:
+            return
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        if elapsed_ms < self._slow_query_ms:
+            return
+        record = {
+            "event": "slow_query",
+            "op": op,
+            "ms": round(elapsed_ms, 3),
+            "threshold_ms": self._slow_query_ms,
+            "method": payload.get("method"),
+            "trace": payload.get("trace"),
+        }
+        slow_query_logger.warning(json.dumps(record, sort_keys=True))
+
+    def _metrics_payload(self) -> dict:
+        """The ``metrics`` payload: one merged registry snapshot, lock-free.
+
+        Point-in-time pressure (queue depth, in-flight, open connections,
+        draining) is refreshed into gauges and the admission counters are
+        mirrored into the registry at read time, then the server registry is
+        merged with the shared engine handle's registry — which already
+        contains the histograms merged back from process-pool workers.
+        """
+        registry = self.metrics
+        registry.gauge("repro_server_queue_depth").set(self._admission.waiting)
+        registry.gauge("repro_server_inflight").set(self._inflight)
+        registry.gauge("repro_server_connections_open").set(len(self._writers))
+        registry.gauge("repro_server_draining").set(1.0 if self._draining else 0.0)
+        registry.counter("repro_server_shed_total").set(self._admission.shed_total)
+        registry.counter("repro_server_admitted_total").set(
+            self._admission.admitted_total
+        )
+        registry.counter("repro_server_deadline_exceeded_total").set(
+            self._deadline_exceeded_total
+        )
+        registry.counter("repro_server_connections_total").set(
+            self._connections_total
+        )
+        snapshot = merge_snapshots(
+            registry.snapshot(), self._pool.session.handle.metrics.snapshot()
+        )
+        return {"metrics": snapshot}
+
+    async def _serve_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP/1.1 scrape on the ``--metrics-port`` listener.
+
+        Hand-rolled on purpose — no HTTP dependency for a one-path,
+        one-response-per-connection text endpoint.  ``GET /metrics`` answers
+        Prometheus text exposition format; everything else is a 404.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers; one request per connection
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].partition("?")[0] if len(parts) >= 2 else ""
+            if path in ("/metrics", "/"):
+                body = render_prometheus(self._metrics_payload()["metrics"])
+                status = "200 OK"
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = "not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            encoded = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(encoded)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + encoded
+            )
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
 
     def _exclusion_for(self, sql: str):
         """The gate mode for a SQL request: exclusive iff it conditions.

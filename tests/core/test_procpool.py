@@ -134,11 +134,14 @@ class TestWorkerTask:
         # guarantee in miniature).
         _, engine, components = interned_instance(4)
         snapshot = SpaceSnapshot.of_space(engine.space, generation=99)
-        results = _compute_chunk(snapshot, engine.config, components, None, None)
+        results, meta = _compute_chunk(snapshot, engine.config, components, None, None)
         assert [value for value, _ in results] == [
             engine.run(list(component)) for component in components
         ]
         assert all(seconds >= 0.0 for _, seconds in results)
+        histograms = meta["metrics"]["histograms"]
+        assert histograms["repro_worker_component_seconds"]["count"] == len(components)
+        assert meta["spans"] is None  # tracing was not requested
 
     def test_compute_chunk_budget_is_per_component(self):
         _, engine, components = interned_instance(5, groups=2, per_group=8)

@@ -1,0 +1,213 @@
+"""Unit tests for the dependency-free metrics substrate."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BOUNDS,
+    BUCKET_LOW,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    quantile_from_snapshot,
+    render_prometheus,
+)
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.snapshot() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "buckets": [],
+        }
+
+    def test_quantiles_are_within_bucket_resolution(self):
+        # Log-uniform latencies between 100 µs and 1 s: the bucket estimate
+        # must land within one 10-buckets-per-decade step (~12% relative) of
+        # the exact sample quantile.
+        rng = random.Random(7)
+        samples = sorted(10.0 ** rng.uniform(-4, 0) for _ in range(5000))
+        histogram = Histogram()
+        for value in samples:
+            histogram.record(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = samples[max(0, math.ceil(q * len(samples)) - 1)]
+            estimate = histogram.quantile(q)
+            assert exact / 1.13 <= estimate <= exact * 1.13, (q, exact, estimate)
+
+    def test_quantile_clamps_to_observed_range(self):
+        histogram = Histogram()
+        histogram.record(0.0123)
+        assert histogram.quantile(0.5) == 0.0123
+        assert histogram.quantile(0.99) == 0.0123
+
+    def test_underflow_and_overflow_buckets(self):
+        histogram = Histogram()
+        histogram.record(BUCKET_LOW / 10.0)  # underflow
+        histogram.record(BOUNDS[-1] * 10.0)  # overflow
+        snapshot = histogram.snapshot()
+        assert [index for index, _ in snapshot["buckets"]] == [0, len(BOUNDS)]
+        assert histogram.count == 2
+
+    def test_snapshot_merge_equals_recording_everything(self):
+        rng = random.Random(3)
+        values = [10.0 ** rng.uniform(-5, 1) for _ in range(400)]
+        whole, left, right = Histogram(), Histogram(), Histogram()
+        for index, value in enumerate(values):
+            whole.record(value)
+            (left if index % 2 else right).record(value)
+        left.merge(right.snapshot())
+        merged, direct = left.snapshot(), whole.snapshot()
+        # The sums accumulate in different orders; everything else is exact.
+        assert merged.pop("sum") == pytest.approx(direct.pop("sum"))
+        assert merged == direct
+
+    def test_merging_an_empty_snapshot_changes_nothing(self):
+        histogram = Histogram()
+        histogram.record(0.25)
+        before = histogram.snapshot()
+        histogram.merge(Histogram().snapshot())
+        assert histogram.snapshot() == before
+
+    def test_snapshot_is_json_safe(self):
+        histogram = Histogram()
+        histogram.record(0.5)
+        assert json.loads(json.dumps(histogram.snapshot())) == histogram.snapshot()
+
+    def test_quantile_from_snapshot_matches_live_histogram(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.004, 0.1, 0.5):
+            histogram.record(value)
+        snapshot = histogram.snapshot()
+        for q in (0.5, 0.9, 0.99):
+            assert quantile_from_snapshot(snapshot, q) == histogram.quantile(q)
+        assert quantile_from_snapshot({"count": 0, "buckets": []}, 0.5) == 0.0
+
+    def test_concurrent_recording_loses_nothing(self):
+        histogram = Histogram()
+
+        def worker():
+            for _ in range(1000):
+                histogram.record(0.01)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+        assert histogram.snapshot()["sum"] == pytest.approx(80.0)
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", op="confidence").inc()
+        registry.counter("requests_total", op="confidence").inc(2)
+        registry.counter("requests_total", op="ping").inc()
+        registry.gauge("queue_depth").set(3)
+        registry.histogram("op_seconds", op="confidence").record(0.02)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            'requests_total{op="confidence"}': 3,
+            'requests_total{op="ping"}': 1,
+        }
+        assert snapshot["gauges"] == {"queue_depth": 3.0}
+        assert snapshot["histograms"]['op_seconds{op="confidence"}']["count"] == 1
+
+    def test_same_instrument_object_per_key(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", a=1) is registry.counter("c", a=1)
+        assert registry.counter("c", a=1) is not registry.counter("c", a=2)
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="x", b="y").inc()
+        registry.counter("c", b="y", a="x").inc()
+        assert registry.snapshot()["counters"] == {'c{a="x",b="y"}': 2}
+
+    def test_merge_semantics(self):
+        # Counters add, gauges last-write-wins, histograms merge bucketwise.
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("frames_total").inc(10)
+        parent.gauge("depth").set(1)
+        parent.histogram("seconds").record(0.1)
+        worker.counter("frames_total").inc(5)
+        worker.gauge("depth").set(7)
+        worker.histogram("seconds").record(0.2)
+        parent.merge(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["frames_total"] == 15
+        assert snapshot["gauges"]["depth"] == 7.0
+        assert snapshot["histograms"]["seconds"]["count"] == 2
+
+    def test_merge_snapshots_helper(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("n").inc(1)
+        right.counter("n").inc(2)
+        right.histogram("h", op="x").record(0.5)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        assert merged["counters"]["n"] == 3
+        assert merged["histograms"]['h{op="x"}']["count"] == 1
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("n", op="a").inc()
+        registry.histogram("h").record(0.01)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestPrometheusRendering:
+    def test_render_counters_gauges_and_summaries(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", op="confidence").inc(4)
+        registry.gauge("repro_queue_depth").set(2)
+        for value in (0.010, 0.020, 0.040):
+            registry.histogram("repro_op_seconds", op="confidence").record(value)
+        text = render_prometheus(registry.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert 'repro_requests_total{op="confidence"} 4' in lines
+        assert "# TYPE repro_queue_depth gauge" in lines
+        assert "repro_queue_depth 2.0" in lines
+        assert "# TYPE repro_op_seconds summary" in lines
+        quantile_lines = [
+            line for line in lines
+            if line.startswith('repro_op_seconds{op="confidence",quantile=')
+        ]
+        assert len(quantile_lines) == 3
+        assert 'repro_op_seconds_count{op="confidence"} 3' in lines
+        assert any(
+            line.startswith('repro_op_seconds_sum{op="confidence"} ')
+            for line in lines
+        )
+        assert text.endswith("\n")
+
+    def test_type_line_emitted_once_per_metric_name(self):
+        registry = MetricsRegistry()
+        registry.counter("n", op="a").inc()
+        registry.counter("n", op="b").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE n counter") == 1
+
+    def test_rendered_quantiles_are_internally_consistent(self):
+        # p50 <= p90 <= p99, all within the recorded range — the invariant
+        # the CI obs-smoke job checks against the live endpoint.
+        registry = MetricsRegistry()
+        for value in (0.001, 0.002, 0.005, 0.010, 0.100):
+            registry.histogram("h").record(value)
+        snapshot = registry.snapshot()["histograms"]["h"]
+        p50 = quantile_from_snapshot(snapshot, 0.5)
+        p90 = quantile_from_snapshot(snapshot, 0.9)
+        p99 = quantile_from_snapshot(snapshot, 0.99)
+        assert 0.001 <= p50 <= p90 <= p99 <= 0.100

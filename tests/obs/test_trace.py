@@ -1,0 +1,120 @@
+"""Unit tests for the span/tracer substrate."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import trace
+from repro.obs.trace import Span, Tracer, activate, current_tracer, deactivate, span
+
+
+class TestDisabled:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert current_tracer() is None
+        first = span("anything", attr=1)
+        second = span("else")
+        assert first is second  # the shared singleton: no allocation
+        assert not first.enabled
+        with first as sp:
+            sp.set(ignored=True)  # all operations are cheap no-ops
+
+    def test_activation_is_thread_local(self):
+        tracer = Tracer("request")
+        previous = activate(tracer)
+        try:
+            seen_in_thread = []
+
+            def other_thread():
+                seen_in_thread.append(current_tracer())
+
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+            assert seen_in_thread == [None]
+            assert current_tracer() is tracer
+        finally:
+            deactivate(previous)
+        assert current_tracer() is None
+
+
+class TestTracer:
+    def run_traced(self):
+        tracer = Tracer("request", method="exact")
+        previous = activate(tracer)
+        try:
+            with span("decompose", descriptors=8) as sp:
+                sp.set(components=2)
+                time.sleep(0.002)
+            with span("dispatch"):
+                with span("component"):
+                    time.sleep(0.002)
+        finally:
+            deactivate(previous)
+        return tracer
+
+    def test_span_tree_shape_and_attrs(self):
+        payload = self.run_traced().finish()
+        assert payload["name"] == "request"
+        assert payload["attrs"] == {"method": "exact"}
+        children = payload["children"]
+        assert [child["name"] for child in children] == ["decompose", "dispatch"]
+        assert children[0]["attrs"] == {"descriptors": 8, "components": 2}
+        assert children[1]["children"][0]["name"] == "component"
+
+    def test_self_seconds_sum_to_root_seconds(self):
+        payload = self.run_traced().finish()
+
+        def self_sum(node):
+            return node["self_seconds"] + sum(
+                self_sum(child) for child in node.get("children", ())
+            )
+
+        assert abs(self_sum(payload) - payload["seconds"]) < 1e-9
+
+    def test_finish_override_pins_root_to_wall_time(self):
+        tracer = self.run_traced()
+        payload = tracer.finish(1.5)
+        assert payload["seconds"] == 1.5
+
+    def test_attach_remote(self):
+        tracer = Tracer("request")
+        previous = activate(tracer)
+        try:
+            with span("dispatch"):
+                tracer.attach_remote([
+                    {"name": "worker_component", "seconds": 0.25,
+                     "attrs": {"pid": 123}},
+                ])
+        finally:
+            deactivate(previous)
+        payload = tracer.finish(0.3)
+        dispatch = payload["children"][0]
+        worker = dispatch["children"][0]
+        assert worker["name"] == "worker_component"
+        assert worker["remote"] is True
+        assert worker["seconds"] == 0.25
+        # The remote child's time counts against the dispatch span's self time.
+        assert dispatch["self_seconds"] == max(0.0, dispatch["seconds"] - 0.25)
+
+    def test_pop_tolerates_leaked_spans(self):
+        tracer = Tracer("request")
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__()  # exits out of order; must not corrupt the stack
+        assert tracer.current() is tracer.root
+        with tracer.span("after") as sp:
+            assert sp.name == "after"
+        assert [child.name for child in tracer.root.children] == ["outer", "after"]
+
+    def test_payload_round_trip(self):
+        payload = self.run_traced().finish()
+        rebuilt = Span.from_payload(payload)
+        assert rebuilt.to_payload() == payload
+
+    def test_iter_spans_walks_depth_first(self):
+        payload = self.run_traced().finish()
+        names = [node["name"] for node in trace.iter_spans(payload)]
+        assert names == ["request", "decompose", "dispatch", "component"]
