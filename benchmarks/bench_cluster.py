@@ -1,0 +1,267 @@
+"""Cluster mode: sharded serving vs one server, bit-identity enforced.
+
+The cluster is started as a real subprocess (``python -m repro.cluster``) on
+a ``hardmix`` workload — many independent Figure 11a hard instances merged
+into one relation, i.e. a database with many descriptor-variable connected
+components, the structure the partitioner shards by.  Each scenario starts a
+fresh cluster (cold memos everywhere) with S shard processes and drives the
+same cold query sequence through one :class:`ClusterSession`:
+
+* ``S = 1`` — the single-server baseline: the coordinator whole-routes
+  every target to the only shard;
+* ``S = 3`` — the components spread across three OS processes; a split
+  target fans out concurrently and the per-component answers are folded
+  with the engine's own deterministic merge.
+
+Every answer — single-shard and merged alike — is asserted **bit-identical**
+(``==``, not approx) to a local single-node :class:`Session` over the
+unpartitioned database.  The shards are separate processes, so the speedup
+is real multi-core scaling; the floor is only enforced when the host has
+enough usable CPUs (mirroring ``bench_procpool.py``).
+
+Run directly to print the table and record ``BENCH_cluster.json``::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.__main__ import build_cluster_database
+from repro.db.session import Session
+from repro.server.client import RetryPolicy
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_NAME = "BENCH_cluster.json"
+
+#: The hardmix workload: GROUPS independent hard instances (one component
+#: each at these sizes), N variables and W descriptors of length S per group.
+GROUPS = 12
+NUM_VARIABLES = 12
+ALTERNATIVES = 2
+DESCRIPTOR_LENGTH = 4
+NUM_DESCRIPTORS = 40
+SEED = 0
+
+SHARD_COUNTS = (1, 3)
+ROUNDS = 3
+TARGET_SPEEDUP = 1.2
+
+
+def workload_spec(descriptors: int) -> str:
+    return (
+        f"hardmix:groups={GROUPS},n={NUM_VARIABLES},r={ALTERNATIVES},"
+        f"s={DESCRIPTOR_LENGTH},w={descriptors},seed={SEED}"
+    )
+
+
+def start_cluster(shards: int, spec: str) -> tuple[subprocess.Popen, list[str]]:
+    """A fresh ``python -m repro.cluster`` subprocess; returns its addresses."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cluster",
+            "--shards", str(shards), "--port", "0", "--workload", spec,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    addresses = []
+    for _ in range(shards):
+        banner = process.stdout.readline().strip()
+        match = re.fullmatch(r"shard (\d+) listening on (.+):(\d+)", banner)
+        if not match:
+            process.kill()
+            raise RuntimeError(
+                f"cluster failed to start: {banner!r} / {process.stderr.read()}"
+            )
+        addresses.append(f"{match.group(2)}:{match.group(3)}")
+    ready = process.stdout.readline().strip()
+    if ready != f"cluster ready ({shards} shards)":
+        process.kill()
+        raise RuntimeError(f"bad readiness banner: {ready!r}")
+    return process, addresses
+
+
+def stop_cluster(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.communicate(timeout=30)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        process.kill()
+        process.communicate()
+
+
+def run_scenario(
+    shards: int, spec: str, queries: list, expected: list[float]
+) -> dict:
+    """One fresh S-shard cluster answering the cold query sequence."""
+    import repro
+
+    rounds = []
+    samples: list[float] = []
+    for _ in range(ROUNDS):
+        process, addresses = start_cluster(shards, spec)
+        try:
+            with repro.connect(
+                addresses, retry=RetryPolicy(attempts=3, base_delay=0.05)
+            ) as session:
+                session.health()  # connection warm-up outside the timed region
+                started = time.perf_counter()
+                results = session.confidence_many(queries)
+                wall = time.perf_counter() - started
+            values = [result.value for result in results]
+            if values != expected:
+                raise AssertionError(
+                    f"{shards}-shard cluster diverged from the single node: "
+                    f"{values} != {expected}"
+                )
+            rounds.append(round(wall, 6))
+            samples.append(wall)
+        finally:
+            stop_cluster(process)
+    best = min(samples)
+    return {
+        "shards": shards,
+        "queries": len(queries),
+        "rounds": rounds,
+        "best_wall_seconds": round(best, 6),
+        "mean_wall_seconds": round(statistics.fmean(samples), 6),
+        "throughput_rps": round(len(queries) / best, 3),
+    }
+
+
+def check_what_if_identity(spec: str, single: Session, database) -> dict:
+    """Cluster ``what_if`` sweeps must match the single node bit for bit."""
+    import repro
+
+    points = [i / 10 for i in range(1, 10)]
+    process, addresses = start_cluster(SHARD_COUNTS[-1], spec)
+    checked = 0
+    try:
+        with repro.connect(addresses) as session:
+            shard_map = session.shard_map
+            chosen: dict[int, object] = {}
+            for variable, shard in shard_map.variables.items():
+                chosen.setdefault(shard, variable)
+            for variable in chosen.values():
+                cluster_sweep = session.what_if("HARD", variable, points)
+                local_sweep = single.what_if("HARD", variable, points)
+                assert cluster_sweep == local_sweep, (
+                    f"what_if({variable!r}) diverged: "
+                    f"{cluster_sweep} != {local_sweep}"
+                )
+                checked += 1
+    finally:
+        stop_cluster(process)
+    return {"points": len(points), "swept_variables": checked, "identical": True}
+
+
+def main(argv: list[str] | None = None) -> Path:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller instances and fewer rounds (CI smoke); never enforces "
+             "the speedup floor",
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / REPORT_NAME)
+    arguments = parser.parse_args(argv)
+
+    global ROUNDS
+    descriptors = 16 if arguments.quick else NUM_DESCRIPTORS
+    if arguments.quick:
+        ROUNDS = 2
+    spec = workload_spec(descriptors)
+    database = build_cluster_database(spec)
+
+    print(f"computing reference values locally ({spec}) ...")
+    single = Session(database)
+    relation = database.relation("HARD")
+    # The query sequence: the whole relation (all components), then every
+    # group's slice as an ad-hoc ws-set (split and whole routes mixed).
+    descriptors_list = list(relation.descriptors())
+    from repro.core.wsset import WSSet
+
+    queries: list = ["HARD"]
+    for group in range(GROUPS):
+        low = group * descriptors
+        queries.append(WSSet(descriptors_list[low : low + descriptors]))
+    expected = [
+        single.confidence(query).value for query in queries
+    ]
+
+    scenarios = []
+    for shards in SHARD_COUNTS:
+        scenario = run_scenario(shards, spec, queries, expected)
+        scenarios.append(scenario)
+        print(
+            f"{shards:>2} shard(s): best {scenario['best_wall_seconds']:.3f}s "
+            f"({scenario['throughput_rps']:.1f} query/s over "
+            f"{scenario['queries']} cold queries)"
+        )
+
+    by_shards = {scenario["shards"]: scenario for scenario in scenarios}
+    speedup = round(
+        by_shards[1]["best_wall_seconds"]
+        / by_shards[SHARD_COUNTS[-1]]["best_wall_seconds"],
+        2,
+    )
+    usable_cpus = os.cpu_count() or 1
+    enforce = not arguments.quick and usable_cpus >= SHARD_COUNTS[-1]
+    print(
+        f"{SHARD_COUNTS[-1]}-shard speedup over 1 shard: {speedup}x "
+        f"(floor {TARGET_SPEEDUP}x, enforced={enforce}; "
+        f"{usable_cpus} usable CPUs)"
+    )
+    if enforce:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"cluster scaling target missed: {speedup}x < {TARGET_SPEEDUP}x"
+        )
+
+    print("checking what_if bit-identity across the cluster ...")
+    what_if = check_what_if_identity(spec, single, database)
+
+    payload = {
+        "title": "Sharded cluster vs single server on the hardmix workload",
+        "workload": {
+            "spec": spec,
+            "groups": GROUPS,
+            "num_variables": NUM_VARIABLES,
+            "alternatives": ALTERNATIVES,
+            "descriptor_length": DESCRIPTOR_LENGTH,
+            "num_descriptors": descriptors,
+            "seed": SEED,
+            "queries": len(queries),
+            "rounds": ROUNDS,
+        },
+        "scenarios": scenarios,
+        "speedup": {
+            f"{SHARD_COUNTS[-1]}_shards_vs_1": speedup,
+            "target": TARGET_SPEEDUP,
+            "enforced": enforce,
+            "usable_cpus": usable_cpus,
+        },
+        "bit_identity": {
+            "confidence_many": {"queries": len(queries), "identical": True},
+            "what_if": what_if,
+        },
+    }
+    arguments.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {arguments.out}")
+    return arguments.out
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,7 @@ from repro import (
     ExactConfig,
     FunctionalDependency,
     ProbabilisticDatabase,
-    certain_tuples,
+    connect,
 )
 from repro.db.algebra import select
 from repro.db.predicates import attr
@@ -85,7 +85,8 @@ def certain_answers_with_fred() -> None:
     print("== Certain SSNs after conditioning (with Fred) ==")
     from repro.db.algebra import project
 
-    certain = certain_tuples(project(projected, ["SSN"]), db.world_table)
+    with connect(db) as session:
+        certain = session.certain_tuples(project(projected, ["SSN"]))
     for values in sorted(certain):
         print(f"  SSN {values[0]} is in the database with probability 1")
     expected = {(1,), (4,), (7,)}

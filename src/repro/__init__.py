@@ -79,12 +79,15 @@ from repro.db.session import (
     adaptive_hybrid_budget,
 )
 from repro.db.tuple_independent import tuple_independent_relation
+from repro.db.api import ConfidenceAPI, connect
 
 from repro.errors import (
     ReproError,
     ZeroProbabilityConditionError,
     InvalidDistributionError,
     UnknownVariableError,
+    PartitionError,
+    ShardUnavailableError,
 )
 
 __version__ = "1.0.0"
@@ -143,10 +146,15 @@ __all__ = [
     "ConfidenceResult",
     "adaptive_hybrid_budget",
     "tuple_independent_relation",
+    # unified client API (local / single server / sharded cluster)
+    "ConfidenceAPI",
+    "connect",
     # errors
     "ReproError",
     "ZeroProbabilityConditionError",
     "InvalidDistributionError",
     "UnknownVariableError",
+    "PartitionError",
+    "ShardUnavailableError",
     "__version__",
 ]

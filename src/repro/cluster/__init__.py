@@ -1,0 +1,32 @@
+"""Sharded cluster serving: partitioning, coordination, and bootstrap.
+
+The package splits a probabilistic database by descriptor-variable connected
+components (:mod:`~repro.cluster.partition`), serves each shard with an
+ordinary :class:`~repro.server.server.ConfidenceServer`, and answers the
+unified :class:`~repro.db.api.ConfidenceAPI` through a routing coordinator
+(:mod:`~repro.cluster.coordinator`) whose merged answers are bit-identical
+to a single node's for exact computation.  ``python -m repro.cluster``
+serves a cluster from the command line; :class:`LocalCluster` does the same
+in-process; :func:`repro.connect` with several addresses returns the
+:class:`ClusterSession` client.
+"""
+
+from repro.cluster.bootstrap import LocalCluster
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.partition import (
+    RelationPlan,
+    ShardMap,
+    component_relation_name,
+    partition_database,
+)
+from repro.cluster.session import ClusterSession
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterSession",
+    "LocalCluster",
+    "RelationPlan",
+    "ShardMap",
+    "component_relation_name",
+    "partition_database",
+]

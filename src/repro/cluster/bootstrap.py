@@ -1,0 +1,153 @@
+"""In-process cluster bootstrap: partition once, serve each shard on a thread.
+
+:class:`LocalCluster` is the programmatic (and test/CI) way to stand up a
+whole sharded cluster inside one process: it partitions the database with
+:func:`~repro.cluster.partition.partition_database`, runs one
+:class:`~repro.server.server.ConfidenceServer` per shard — each on its own
+event loop thread, each carrying the cluster's ``shard_info`` so it answers
+the ``shard_map`` operation — and hands out the address list that
+:func:`repro.connect` (or :class:`~repro.cluster.session.ClusterSession`)
+needs.  ``kill(index)`` stops one shard abruptly (zero grace), which is how
+the failure tests and the CI smoke job exercise degradation.
+
+For separate OS processes per shard, use ``python -m repro.cluster``
+(:mod:`repro.cluster.__main__`), which derives the identical partition in
+every process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import TYPE_CHECKING
+
+from repro.cluster.partition import partition_database
+from repro.cluster.session import ClusterSession
+from repro.server.server import ConfidenceServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.partition import ShardMap
+    from repro.db.database import ProbabilisticDatabase
+
+
+class _ShardThread:
+    """One shard server on its own event-loop thread (test-server idiom)."""
+
+    def __init__(
+        self, database: "ProbabilisticDatabase", shard_info: dict, **server_options
+    ) -> None:
+        self._database = database
+        self._options = {"port": 0, "shard_info": shard_info, **server_options}
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._grace: float | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+        self.server: ConfidenceServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self) -> "_ShardThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("shard thread did not start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self, *, grace: float | None = None) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._grace = grace
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already gone — the shard is down
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                self.server = ConfidenceServer(self._database, **self._options)
+                self.host, self.port = await self.server.start()
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+            except BaseException as error:
+                self._startup_error = error
+                self._started.set()
+                raise
+            self._started.set()
+            await self._stop.wait()
+            if self._grace is None:
+                await self.server.stop()
+            else:
+                await self.server.stop(grace=self._grace)
+
+        asyncio.run(main())
+
+
+class LocalCluster:
+    """A whole sharded cluster in one process, one server thread per shard.
+
+    Entering the context partitions ``database``, starts every shard, and
+    returns the handle; :attr:`addresses` feeds :func:`repro.connect`,
+    :meth:`connect` is the shortcut.  :meth:`kill` stops one shard with zero
+    grace — its address keeps pointing at a dead port, which is exactly the
+    condition the coordinator's retry/degradation paths handle.
+    """
+
+    def __init__(
+        self, database: "ProbabilisticDatabase", shards: int = 3, **server_options
+    ) -> None:
+        self._shard_databases, self.map = partition_database(database, shards)
+        map_payload = self.map.to_payload()
+        self._threads = [
+            _ShardThread(
+                shard_database,
+                shard_info={"index": index, "shards": shards, "map": map_payload},
+                **server_options,
+            )
+            for index, shard_database in enumerate(self._shard_databases)
+        ]
+
+    def __enter__(self) -> "LocalCluster":
+        started: list[_ShardThread] = []
+        try:
+            for thread in self._threads:
+                started.append(thread.start())
+        except BaseException:
+            for thread in started:
+                thread.stop(grace=0.0)
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for thread in self._threads:
+            thread.stop(grace=0.0)
+
+    @property
+    def shards(self) -> int:
+        return len(self._threads)
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """``(host, port)`` per shard, in shard-index order."""
+        return [(thread.host, thread.port) for thread in self._threads]
+
+    def kill(self, index: int) -> None:
+        """Stop shard ``index`` abruptly (no drain grace); its port goes dead."""
+        self._threads[index].stop(grace=0.0)
+
+    def running(self, index: int) -> bool:
+        return self._threads[index].running
+
+    def connect(self, **options) -> ClusterSession:
+        """A :class:`ClusterSession` over this cluster's shards."""
+        return ClusterSession(self.addresses, **options)

@@ -1,0 +1,352 @@
+"""Sharding a probabilistic database by descriptor-variable components.
+
+The exact engine decomposes every confidence target into variable-disjoint
+connected components and merges their probabilities with one flat
+``1 − Π_i (1 − P_i)`` fold.  Components are therefore the natural unit of
+distribution: as long as every component lives wholly on one shard, a
+coordinator can evaluate each component where it lives and reproduce the
+single-node fold bit for bit (see :mod:`repro.core.components`).
+
+:func:`partition_database` turns one database into ``shards`` smaller ones:
+
+* world-table variables are grouped with union-find — all variables sharing a
+  raw row descriptor are inseparable, and a relation whose *simplified* ws-set
+  has at most :data:`~repro.core.interned._CLOSED_FORM_LIMIT` descriptors is
+  force-co-located (the engine answers such targets with one closed-form
+  inclusion-exclusion over the whole set, which no per-component split can
+  reproduce bitwise);
+* groups go to shards by deterministic LPT (heaviest first by raw row count,
+  ties to the lowest shard index), so separately started ``--shard-index``
+  processes derive the same placement;
+* each shard's database holds the world table restricted to its variables and
+  a copy of *every* relation containing exactly the rows whose descriptors it
+  owns (nullary rows go to the relation's *home* shard, so a whole-routed
+  relation name resolves to precisely the global row list there);
+* a relation whose components span several shards additionally materialises
+  one sub-relation per global component — named
+  :func:`component_relation_name` — holding the globally *simplified*
+  component descriptors in the engine's fuse order.  The coordinator
+  evaluates those by name through the ordinary ``confidence`` ops, which is
+  what keeps per-component answers bit-identical without any new protocol
+  operation.
+
+The resulting :class:`ShardMap` is the routing contract: variable ownership,
+per-relation component placement, and enough metadata (``certain``, ``home``,
+``batch_order``, ``variable_components``) for the coordinator to answer every
+:class:`~repro.db.api.ConfidenceAPI` call without ever holding the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.components import simplify_descriptors, split_components
+from repro.core.interned import _CLOSED_FORM_LIMIT
+from repro.db.database import ProbabilisticDatabase
+from repro.db.urelation import URelation, UTuple
+from repro.errors import PartitionError, UnknownVariableError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.world_table import Variable
+
+#: ``batch_order`` entries kept per relation; beyond this the coordinator
+#: falls back to shard-concatenation order for ``confidence_batch`` rows.
+BATCH_ORDER_LIMIT = 10_000
+
+#: Types that survive a JSON round trip unchanged (wire-safe map entries).
+_JSON_SCALAR = (str, int, float, bool, type(None))
+
+
+def component_relation_name(name: str, index: int) -> str:
+    """The materialised sub-relation holding global component ``index`` of ``name``."""
+    return f"{name}#c{index}"
+
+
+@dataclass(frozen=True)
+class RelationPlan:
+    """Routing metadata for one named relation."""
+
+    #: Owning shard of each global component, in the engine's component order.
+    components: tuple[int, ...]
+    #: True when the simplified ws-set contains the nullary descriptor (the
+    #: relation is certain; its confidence is 1 in every world).
+    certain: bool
+    #: Global row count (observability; not used for routing).
+    size: int
+    #: Shard receiving nullary rows and whole-routed single-shard queries.
+    home: int
+    #: Global first-appearance order of distinct value tuples, for merging
+    #: ``confidence_batch`` answers; ``None`` when over the cap or not
+    #: JSON-representable.
+    batch_order: tuple[tuple, ...] | None = None
+    #: ``variable -> global component index``, present only for relations
+    #: whose components span several shards (drives ``what_if`` routing).
+    variable_components: dict | None = None
+
+    @property
+    def spans_shards(self) -> bool:
+        """True when the relation's components live on more than one shard."""
+        return len(set(self.components)) > 1
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "components": list(self.components),
+            "certain": self.certain,
+            "size": self.size,
+            "home": self.home,
+            "batch_order": (
+                None
+                if self.batch_order is None
+                else [list(values) for values in self.batch_order]
+            ),
+        }
+        if self.variable_components is not None:
+            payload["variable_components"] = [
+                [variable, index]
+                for variable, index in self.variable_components.items()
+            ]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RelationPlan":
+        batch_order = payload.get("batch_order")
+        variable_components = payload.get("variable_components")
+        return cls(
+            components=tuple(payload["components"]),
+            certain=payload["certain"],
+            size=payload["size"],
+            home=payload["home"],
+            batch_order=(
+                None
+                if batch_order is None
+                else tuple(tuple(values) for values in batch_order)
+            ),
+            variable_components=(
+                None
+                if variable_components is None
+                else {variable: index for variable, index in variable_components}
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The cluster's routing contract, identical on every shard.
+
+    Serialised into each shard server's ``shard_info`` and served through the
+    ``shard_map`` protocol operation, so a coordinator can bootstrap from any
+    reachable shard.
+    """
+
+    shards: int
+    #: ``variable -> owning shard`` for every world-table variable.
+    variables: dict
+    #: ``relation name -> RelationPlan``.
+    relations: dict
+
+    def shard_of(self, variable: "Variable") -> int:
+        """The shard owning ``variable``."""
+        try:
+            return self.variables[variable]
+        except KeyError:
+            raise UnknownVariableError(variable) from None
+
+    def to_payload(self) -> dict:
+        for variable in self.variables:
+            if not isinstance(variable, _JSON_SCALAR):
+                raise PartitionError(
+                    f"variable {variable!r} is not JSON-representable; cluster "
+                    f"serving needs wire-safe variable names"
+                )
+        return {
+            "shards": self.shards,
+            "variables": [
+                [variable, shard] for variable, shard in self.variables.items()
+            ],
+            "relations": {
+                name: plan.to_payload() for name, plan in self.relations.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardMap":
+        return cls(
+            shards=payload["shards"],
+            variables={variable: shard for variable, shard in payload["variables"]},
+            relations={
+                name: RelationPlan.from_payload(plan)
+                for name, plan in payload["relations"].items()
+            },
+        )
+
+
+def partition_database(
+    database: ProbabilisticDatabase, shards: int
+) -> tuple[list[ProbabilisticDatabase], ShardMap]:
+    """Split ``database`` into ``shards`` shard databases plus their map.
+
+    Deterministic in ``(database, shards)``: independently started shard
+    processes (``python -m repro.cluster --shard-index I``) derive identical
+    placements and identical map payloads.
+    """
+    if shards < 1:
+        raise PartitionError(f"a cluster needs at least one shard, got {shards}")
+    world = database.world_table
+    ordinal = {variable: index for index, variable in enumerate(world.variables)}
+    # Union-find over variable ordinals, root = the smallest member ordinal,
+    # which keeps every derived ordering deterministic.
+    parent = list(range(len(ordinal)))
+
+    def find(index: int) -> int:
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            return
+        if root_b < root_a:
+            root_a, root_b = root_b, root_a
+        parent[root_b] = root_a
+
+    def ordinals_of(descriptor) -> list[int]:
+        try:
+            return [ordinal[variable] for variable in descriptor.variables]
+        except KeyError:
+            missing = next(
+                variable
+                for variable in descriptor.variables
+                if variable not in ordinal
+            )
+            raise UnknownVariableError(missing) from None
+
+    simplified_by_relation: dict[str, list] = {}
+    for name in database.relation_names:
+        relation = database.relation(name)
+        for row in relation:
+            row_ordinals = ordinals_of(row.descriptor)
+            for a, b in zip(row_ordinals, row_ordinals[1:]):
+                union(a, b)
+        simplified = simplify_descriptors([row.descriptor for row in relation])
+        simplified_by_relation[name] = simplified
+        if 0 < len(simplified) <= _CLOSED_FORM_LIMIT:
+            # The engine answers this relation with one closed-form
+            # inclusion-exclusion over the *whole* simplified set — splitting
+            # it across shards could never be bit-identical, so keep all of
+            # its variables together and route it whole.
+            relation_ordinals = sorted(
+                {index for row in relation for index in ordinals_of(row.descriptor)}
+            )
+            for a, b in zip(relation_ordinals, relation_ordinals[1:]):
+                union(a, b)
+
+    # Group weights: raw rows referencing the group (LPT balance signal).
+    weight: dict[int, int] = {find(index): 0 for index in range(len(ordinal))}
+    for name in database.relation_names:
+        for row in database.relation(name):
+            row_ordinals = ordinals_of(row.descriptor)
+            if row_ordinals:
+                weight[find(row_ordinals[0])] += 1
+
+    load = [0] * shards
+    shard_of_root: dict[int, int] = {}
+    for root in sorted(weight, key=lambda root: (-weight[root], root)):
+        shard = min(range(shards), key=lambda index: (load[index], index))
+        shard_of_root[root] = shard
+        load[shard] += weight[root]
+    variable_shards = {
+        variable: shard_of_root[find(index)] for variable, index in ordinal.items()
+    }
+
+    shard_databases = [
+        ProbabilisticDatabase(
+            world.restrict(
+                variable
+                for variable in world.variables
+                if variable_shards[variable] == shard
+            )
+        )
+        for shard in range(shards)
+    ]
+
+    plans: dict[str, RelationPlan] = {}
+    for name in database.relation_names:
+        relation = database.relation(name)
+        simplified = simplified_by_relation[name]
+        certain = any(descriptor.is_empty for descriptor in simplified)
+        if not simplified:
+            component_members: list[list] = []
+        elif certain:
+            # The nullary descriptor subsumes every other one, so the
+            # simplified set is exactly ``[()]`` — a single certain component.
+            component_members = [simplified]
+        else:
+            component_members = split_components(simplified)
+
+        component_shards: list[int] = []
+        for members in component_members:
+            shard = 0
+            for descriptor in members:
+                variables = descriptor.variables
+                if variables:
+                    shard = variable_shards[next(iter(variables))]
+                    break
+            component_shards.append(shard)
+        home = 0
+        for members, shard in zip(component_members, component_shards):
+            if any(descriptor.variables for descriptor in members):
+                home = shard
+                break
+
+        copies = [
+            shard_databases[shard].create_relation(name, relation.attributes)
+            for shard in range(shards)
+        ]
+        first_values: dict = {}
+        for row in relation:
+            first_values.setdefault(row.descriptor, row.values)
+            variables = row.descriptor.variables
+            if variables:
+                copies[variable_shards[next(iter(variables))]].add_tuple(row)
+            else:
+                copies[home].add_tuple(row)
+
+        variable_components = None
+        if len(set(component_shards)) > 1:
+            variable_components = {}
+            for index, (members, shard) in enumerate(
+                zip(component_members, component_shards)
+            ):
+                sub_relation = URelation(
+                    component_relation_name(name, index), relation.attributes
+                )
+                for descriptor in members:
+                    sub_relation.add_tuple(
+                        UTuple(descriptor, first_values[descriptor])
+                    )
+                    for variable in descriptor.variables:
+                        variable_components[variable] = index
+                shard_databases[shard].add_relation(sub_relation)
+
+        batch_order = None
+        distinct = relation.distinct_values()
+        if len(distinct) <= BATCH_ORDER_LIMIT and all(
+            isinstance(value, _JSON_SCALAR) for values in distinct for value in values
+        ):
+            batch_order = tuple(distinct)
+
+        plans[name] = RelationPlan(
+            components=tuple(component_shards),
+            certain=certain,
+            size=len(relation),
+            home=home,
+            batch_order=batch_order,
+            variable_components=variable_components,
+        )
+
+    return shard_databases, ShardMap(shards, variable_shards, plans)

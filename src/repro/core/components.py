@@ -1,0 +1,123 @@
+"""Descriptor-level mirror of the interned engine's entry simplifications.
+
+The cluster coordinator routes confidence targets by descriptor-variable
+connected component, and its merged answer is only bit-identical to a
+single-node run if its view of the component structure is *exactly* the
+engine's.  The engine works on interned (packed-int) descriptors; the
+coordinator has no interned space — it sees :class:`~repro.core.descriptors.
+WSDescriptor` objects before any server is involved.  This module therefore
+replays the engine's entry pipeline at the descriptor level:
+
+* :func:`simplify_descriptors` — first-occurrence deduplication followed by
+  subsumption removal, sharing
+  :func:`~repro.core.decompose.kept_after_subsumption` (the same size-sorted
+  pass both the legacy and the interned simplifiers use), so the surviving
+  descriptors and their order match ``deduplicate_interned`` +
+  ``remove_subsumed_interned`` bit for bit;
+* :func:`split_components` — the exact fuse semantics of
+  ``connected_components_interned``: a descriptor joins the *first* existing
+  component whose variable set it intersects (and is appended to it **before**
+  any later intersecting components fuse into it), a non-intersecting
+  descriptor opens a new component, and the single-component case returns the
+  input list *in input order* (the engine's ``live == 1`` shortcut — member
+  order differs from fuse order there, and ⊕-node accumulation is
+  order-sensitive).
+
+The only divergence from the interned pipeline is deliberate: interning drops
+descriptors that assign a value outside its variable's domain
+(``intern_items`` returns ``None``) *before* deduplication.  The mirror is
+domain-blind — ``docs/cluster.md`` documents the resulting caveat for ad-hoc
+targets carrying out-of-domain values.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.decompose import kept_after_subsumption
+
+if TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Sequence
+
+    from repro.core.descriptors import WSDescriptor
+
+
+def simplify_descriptors(
+    descriptors: "Sequence[WSDescriptor]", *, simplify_subsumed: bool = True
+) -> "list[WSDescriptor]":
+    """Dedup then (optionally) drop subsumed descriptors, preserving order.
+
+    Mirrors the engine's entry simplification (``deduplicate_interned`` and,
+    when ``ExactConfig.simplify_subsumed`` is on — the default —
+    ``remove_subsumed_interned``): descriptor equality is assignment
+    equality, exactly what packed-int equality is after interning.
+    """
+    seen: set = set()
+    unique: list[WSDescriptor] = []
+    for descriptor in descriptors:
+        if descriptor not in seen:
+            seen.add(descriptor)
+            unique.append(descriptor)
+    if not simplify_subsumed or len(unique) <= 1:
+        return unique
+    kept = kept_after_subsumption([set(d.items()) for d in unique])
+    if len(kept) == len(unique):
+        return unique
+    return [unique[index] for index in kept]
+
+
+def split_components(
+    descriptors: "list[WSDescriptor]",
+) -> "list[list[WSDescriptor]]":
+    """Partition into variable-disjoint components, engine fuse order.
+
+    Bit-for-bit the control flow of ``connected_components_interned`` with
+    variable sets in place of bitmasks: scan existing components in slot
+    order, append the descriptor to the first intersecting one *before*
+    fusing any later intersecting components into it, retire fused slots in
+    place, and return ``[list(descriptors)]`` — input order — when a single
+    component survives.  The top-level ⊗ merge and every ⊕-node under it
+    accumulate in this member order, so any deviation here shows up as a
+    last-bit difference between cluster and single-node answers.
+    """
+    component_vars: list[set] = []
+    component_members: "list[list[WSDescriptor] | None]" = []
+    live = 0
+    for descriptor in descriptors:
+        variables = descriptor.variables
+        first = -1
+        for index in range(len(component_vars)):
+            if component_vars[index] & variables:
+                if first < 0:
+                    component_vars[index] |= variables
+                    component_members[index].append(descriptor)
+                    first = index
+                else:
+                    # The descriptor bridges two components: fuse them.
+                    component_vars[first] |= component_vars[index]
+                    component_members[first].extend(component_members[index])
+                    component_vars[index] = set()
+                    component_members[index] = None
+                    live -= 1
+        if first < 0:
+            component_vars.append(set(variables))
+            component_members.append([descriptor])
+            live += 1
+    if live == 1:
+        return [list(descriptors)]
+    return [members for members in component_members if members]
+
+
+def merge_component_values(values: "Sequence[float]") -> float:
+    """The engine's top-level ⊗ merge: ``1 − Π_i (1 − v_i)``, flat, in order.
+
+    A single value is returned verbatim — the engine never wraps a lone
+    component in a ⊗-node, so ``1 − (1 − v)`` (which is not ``v`` in
+    floating point) must not be applied.
+    """
+    if len(values) == 1:
+        return values[0]
+    complement = 1.0
+    for value in values:
+        complement *= 1.0 - value
+    return 1.0 - complement

@@ -76,7 +76,7 @@ from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
-    from collections.abc import Sequence
+    from collections.abc import Iterable, Sequence
 
     from repro.circuit import Circuit
     from repro.core.wsset import WSSet
@@ -190,10 +190,53 @@ class EngineStats:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "EngineStats":
-        """Rebuild a snapshot from :meth:`as_dict` output (extra keys ignored)."""
+    def from_dict(cls, payload: "dict | list") -> "EngineStats":
+        """Rebuild a snapshot from :meth:`as_dict` output (extra keys ignored).
+
+        ``payload`` may also be a *list* of snapshots — the shape a cluster
+        coordinator collects, one per shard — in which case the snapshots are
+        folded with :meth:`merged`.
+        """
+        if isinstance(payload, (list, tuple)):
+            return cls.merged(cls.from_dict(entry) for entry in payload)
         names = {f.name for f in fields(cls)}
         return cls(**{key: value for key, value in payload.items() if key in names})
+
+    @classmethod
+    def merged(cls, snapshots: "Iterable[EngineStats]") -> "EngineStats":
+        """Fold several engines' statistics into one aggregate view.
+
+        Counters (work done: computations, frames, memo hits, wall time, …)
+        sum across engines; point-in-time gauges (``memo_size``,
+        ``executor``, ``workers``, ``worker_utilisation``,
+        ``cond_memo_bytes_estimate``) take the *last* snapshot's value —
+        the registry convention of
+        :meth:`repro.obs.metrics.MetricsRegistry.merge`.  Folding zero
+        snapshots yields the zero stats.
+        """
+        merged: EngineStats | None = None
+        for snapshot in snapshots:
+            if merged is None:
+                merged = snapshot
+                continue
+            values = {}
+            for spec in fields(cls):
+                if spec.name in _STATS_GAUGE_FIELDS:
+                    values[spec.name] = getattr(snapshot, spec.name)
+                else:
+                    values[spec.name] = getattr(merged, spec.name) + getattr(
+                        snapshot, spec.name
+                    )
+            merged = cls(**values)
+        return merged if merged is not None else cls()
+
+
+#: :class:`EngineStats` fields that are point-in-time readings (gauge
+#: semantics: last writer wins when merging), not accumulating counters.
+_STATS_GAUGE_FIELDS = frozenset(
+    {"memo_size", "executor", "workers", "worker_utilisation",
+     "cond_memo_bytes_estimate"}
+)
 
 
 class EngineHandle:

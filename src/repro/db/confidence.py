@@ -6,20 +6,23 @@ database is the combined probability weight of all possible worlds in which
 row descriptors carrying the value of ``t`` — exactly the quantity computed by
 the exact engines of :mod:`repro.core.probability`.
 
-The functions here are the historical free-function surface, kept as thin
-wrappers (deprecation shims) over the session service of
-:mod:`repro.db.session`: each call opens a transient
-:class:`~repro.db.session.Session` — or reuses one passed via ``session=`` —
-and delegates to :meth:`~repro.db.session.Session.confidence_batch`, so the
-per-tuple computations of one call always share a single engine and memo
-cache.  Callers issuing *several* of these calls over one database should
-create a session themselves and either pass it in or use its methods
-directly; that is what makes ``certain_tuples`` followed by
-``possible_tuples`` reuse instead of recompute.
+The free functions here are the historical pre-session surface and are
+**deprecated**: every call now emits a :class:`DeprecationWarning` and routes
+through the unified :class:`~repro.db.api.ConfidenceAPI` — each opens a
+transient :class:`~repro.db.session.Session` (or reuses one passed via
+``session=``) and delegates to the session method of the same meaning.
+Migrate by obtaining a session once — ``repro.connect(database)`` (or
+``database.session()``) — and calling :meth:`~repro.db.session.Session.
+confidence_batch`, :meth:`~repro.db.session.Session.certain_tuples`,
+:meth:`~repro.db.session.Session.possible_tuples` or
+:meth:`~repro.db.session.Session.confidence` directly; that also makes
+repeated calls share one engine and memo cache instead of rebuilding them
+per call.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -69,6 +72,27 @@ def _session_for(
     return Session(world_table, config)
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.db.confidence.{name}() is deprecated; obtain a session with "
+        f"repro.connect(database) (or database.session()) and call "
+        f"{replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _confidence_by_tuple(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+    *,
+    session: "Session | None" = None,
+) -> list[ConfidenceRow]:
+    """Non-warning implementation shared with internal callers."""
+    return _session_for(world_table, config, session).confidence_batch(relation)
+
+
 def confidence_by_tuple(
     relation: URelation,
     world_table: "WorldTable",
@@ -78,13 +102,31 @@ def confidence_by_tuple(
 ) -> list[ConfidenceRow]:
     """Confidence of each distinct value tuple of ``relation``.
 
+    .. deprecated:: use :meth:`~repro.db.session.Session.confidence_batch`
+       via ``repro.connect(database)``.
+
     This closes the possible-worlds semantics: the result is an ordinary
     relation of value tuples with a numerical confidence column, as in the
     query ``select SSN, conf(SSN) from R where NAME = 'Bill'`` of the paper's
     introduction.  All tuples are solved through one shared engine; pass
     ``session=`` to share that engine across calls as well.
     """
-    return _session_for(world_table, config, session).confidence_batch(relation)
+    _deprecated("confidence_by_tuple", "session.confidence_batch(relation)")
+    return _confidence_by_tuple(relation, world_table, config, session=session)
+
+
+def _confidence_of_relation(
+    relation: URelation,
+    world_table: "WorldTable",
+    config: ExactConfig | None = None,
+    *,
+    session: "Session | None" = None,
+) -> float:
+    """Non-warning implementation shared with internal callers."""
+    if session is not None:
+        session = _session_for(world_table, config, session)
+        return session.confidence(relation.descriptors()).value
+    return probability(relation.descriptors(), world_table, config)
 
 
 def confidence_of_relation(
@@ -96,13 +138,14 @@ def confidence_of_relation(
 ) -> float:
     """Confidence of the Boolean query "the relation is nonempty".
 
+    .. deprecated:: use :meth:`~repro.db.session.Session.confidence` via
+       ``repro.connect(database)``.
+
     This is ``P(π_∅(relation))``: the probability of the union of all row
     descriptors — the quantity measured throughout the paper's experiments.
     """
-    if session is not None:
-        session = _session_for(world_table, config, session)
-        return session.confidence(relation.descriptors()).value
-    return probability(relation.descriptors(), world_table, config)
+    _deprecated("confidence_of_relation", "session.confidence(relation)")
+    return _confidence_of_relation(relation, world_table, config, session=session)
 
 
 def certain_tuples(
@@ -115,11 +158,15 @@ def certain_tuples(
 ) -> list[tuple]:
     """The value tuples present in *every* world (``where conf(...) = 1``).
 
+    .. deprecated:: use :meth:`~repro.db.session.Session.certain_tuples` via
+       ``repro.connect(database)``.
+
     This is the query from the introduction that motivates exact (rather than
     approximate) confidence computation: Monte-Carlo estimators independently
     underestimate each tuple's confidence and therefore miss certain answers
     with high probability.
     """
+    _deprecated("certain_tuples", "session.certain_tuples(relation)")
     return _session_for(world_table, config, session).certain_tuples(
         relation, tolerance=tolerance
     )
@@ -133,7 +180,12 @@ def possible_tuples(
     threshold: float = 0.0,
     session: "Session | None" = None,
 ) -> list[ConfidenceRow]:
-    """Value tuples whose confidence exceeds ``threshold`` (default: possible at all)."""
+    """Value tuples whose confidence exceeds ``threshold`` (default: possible at all).
+
+    .. deprecated:: use :meth:`~repro.db.session.Session.possible_tuples` via
+       ``repro.connect(database)``.
+    """
+    _deprecated("possible_tuples", "session.possible_tuples(relation)")
     return _session_for(world_table, config, session).possible_tuples(
         relation, threshold=threshold
     )

@@ -23,8 +23,8 @@ from repro.core.probability import ExactConfig, probability
 from repro.core.wsset import WSSet
 from repro.db.confidence import (
     ConfidenceRow,
-    confidence_by_tuple,
-    confidence_of_relation,
+    _confidence_by_tuple,
+    _confidence_of_relation,
 )
 from repro.db.constraints import Constraint
 from repro.db.urelation import URelation, UTuple
@@ -213,7 +213,7 @@ class ProbabilisticDatabase:
     ) -> list[ConfidenceRow]:
         """``conf()`` per distinct value tuple of a relation or query answer."""
         relation = self.relation(target) if isinstance(target, str) else target
-        return confidence_by_tuple(relation, self._world_table, config)
+        return _confidence_by_tuple(relation, self._world_table, config)
 
     # ------------------------------------------------------------------
     # Conditioning (Section 5)
@@ -356,4 +356,6 @@ def relation_confidence(
     config: ExactConfig | None = None,
 ) -> float:
     """Convenience wrapper: confidence that the named relation is nonempty."""
-    return confidence_of_relation(database.relation(name), database.world_table, config)
+    return _confidence_of_relation(
+        database.relation(name), database.world_table, config
+    )

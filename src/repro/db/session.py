@@ -56,6 +56,11 @@ from typing import TYPE_CHECKING
 from repro.core.engine import EngineHandle, EngineStats
 from repro.core.probability import ExactConfig
 from repro.core.wsset import WSSet
+
+# The confidence-target wire codec lives in repro.db.api (one module shared
+# with the server protocol); the names are re-exported here because earlier
+# releases defined them in this module.
+from repro.db.api import target_from_payload, target_to_payload  # noqa: F401
 from repro.db.confidence import ConfidenceRow
 from repro.db.urelation import URelation
 from repro.db.world_table import WorldTable
@@ -285,47 +290,6 @@ class ConfidenceResult:
         )
 
 
-def target_to_payload(target: "WSSet | URelation | str") -> dict:
-    """Encode a confidence target for the wire.
-
-    Relation names travel by name (``{"kind": "relation"}``) and are resolved
-    against the server's database; ws-sets (and relations passed as objects)
-    travel extensionally as sorted assignment-pair lists (``{"kind":
-    "wsset"}``).  Variables and values must be JSON-representable (strings,
-    numbers, booleans) for the round trip to be faithful.
-    """
-    if isinstance(target, str):
-        return {"kind": "relation", "name": target}
-    if isinstance(target, URelation):
-        target = target.descriptors()
-    if isinstance(target, WSSet):
-        return {
-            "kind": "wsset",
-            "descriptors": [
-                [[variable, value] for variable, value in descriptor.sorted_items()]
-                for descriptor in target
-            ],
-        }
-    raise TypeError(f"cannot encode {target!r} as a confidence target")
-
-
-def target_from_payload(payload: dict) -> "WSSet | str":
-    """Decode a :func:`target_to_payload` target."""
-    if not isinstance(payload, dict) or "kind" not in payload:
-        raise ValueError(f"malformed confidence target {payload!r}")
-    if payload["kind"] == "relation":
-        name = payload.get("name")
-        if not isinstance(name, str):
-            raise ValueError(f"relation target needs a string name, got {name!r}")
-        return name
-    if payload["kind"] == "wsset":
-        descriptors = payload.get("descriptors")
-        if not isinstance(descriptors, list):
-            raise ValueError("wsset target needs a list of descriptors")
-        return WSSet(
-            {variable: value for variable, value in pairs} for pairs in descriptors
-        )
-    raise ValueError(f"unknown target kind {payload['kind']!r}")
 
 
 class Session:

@@ -203,3 +203,30 @@ class RemoteError(ServerError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
+
+
+class ShardUnavailableError(ServerError):
+    """A cluster shard stayed unreachable after the coordinator's retries.
+
+    Carries ``shard`` (the ``host:port`` address of the failed shard) so a
+    caller — or the partial-result path of
+    :class:`repro.cluster.ClusterCoordinator` — can report exactly which
+    slice of the key space is dark.  Raised by the coordinator, not by
+    servers; it still has a wire code (``shard-unavailable``) so proxying
+    layers can forward it faithfully.
+    """
+
+    def __init__(self, message: str, *, shard: str | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class PartitionError(ReproError, ValueError):
+    """A target cannot be routed under the cluster's shard partition.
+
+    Raised for ad-hoc ws-set targets whose connected component mixes
+    variables owned by different shards: such a component has no shard that
+    could evaluate it locally.  Targets derived from the partitioned
+    database's own relations never trigger this — the partitioner places
+    every descriptor-variable component wholly on one shard.
+    """

@@ -61,7 +61,8 @@ from typing import TYPE_CHECKING
 
 from repro.core.engine import EngineStats
 from repro.db.confidence import ConfidenceRow
-from repro.db.session import ConfidenceRequest, ConfidenceResult, target_to_payload
+from repro.db.api import target_to_payload
+from repro.db.session import ConfidenceRequest, ConfidenceResult
 from repro.errors import (
     OverloadedError,
     ProtocolError,
@@ -412,6 +413,16 @@ class ServerSession(_SessionCalls):
         """
         return self._call("health")
 
+    def shard_map(self) -> dict:
+        """The server's cluster membership, lock-free like :meth:`health`.
+
+        ``{"sharded": false}`` on a stand-alone server; on a shard,
+        ``{"sharded": true, "shard": i, "shards": n, "map": ...}`` with
+        ``map`` a :class:`~repro.cluster.partition.ShardMap` payload.
+        Requires a protocol-version-4 server.
+        """
+        return self._call("shard_map")
+
     def query(self, request: ConfidenceRequest) -> ConfidenceResult:
         # The request's deadline also rides at frame level, where the server
         # bounds the admission wait with it (not just the computation).
@@ -626,6 +637,10 @@ class AsyncServerSession(_SessionCalls):
     async def health(self) -> dict:
         """The server's lock-free health payload (see the blocking twin)."""
         return await self._call("health")
+
+    async def shard_map(self) -> dict:
+        """The server's cluster membership (see the blocking twin)."""
+        return await self._call("shard_map")
 
     async def query(self, request: ConfidenceRequest) -> ConfidenceResult:
         return ConfidenceResult.from_payload(

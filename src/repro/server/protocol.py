@@ -47,6 +47,14 @@ Operations (see ``docs/protocol.md`` for the full schemas):
     answered in a single frame through a compiled lineage circuit
     (:meth:`~repro.db.session.Session.what_if`) — the decomposition runs
     once server-side, every point is a circuit re-evaluation.
+``shard_map`` (since version 4)
+    The cluster partition this server was booted with: its own shard index,
+    the shard count and the full :class:`~repro.cluster.partition.ShardMap`
+    payload (variable -> shard ownership plus per-relation component
+    placement).  Every shard of a cluster serves the identical map, so a
+    coordinator can bootstrap from whichever shard answers first.  Like
+    ``health`` it is answered without queueing; a server booted without
+    shard info answers ``{"sharded": false}``.
 ``execute`` / ``execute_script``
     SQL through the shared session; results travel as
     :func:`query_result_to_payload` objects.
@@ -86,6 +94,7 @@ from repro.errors import (
     RemoteError,
     ReproError,
     SchemaError,
+    ShardUnavailableError,
     SQLSyntaxError,
     UnknownAttributeError,
     UnknownRelationError,
@@ -101,17 +110,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sql.executor import QueryResult
 
 #: Version the clients of this build send on every frame.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: Versions the server answers.  Version 1 (PR 4) lacks ``confidence_many``
 #: but is otherwise identical, so v1 clients keep working unchanged; a v1
 #: frame asking for a v2-only operation gets the same ``unknown-op`` error an
-#: actual v1 server would send.  Version 3 (this build) adds the ``health``
+#: actual v1 server would send.  Version 3 adds the ``health``
 #: and ``what_if`` operations, the per-request ``deadline_ms`` frame field, and the
 #: ``deadline-exceeded`` / ``overloaded`` error codes; v1/v2 frames never see
 #: any of them (``deadline_ms`` on an old frame is ignored, and old clients
-#: degrade unknown codes to :class:`~repro.errors.RemoteError`).
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: degrade unknown codes to :class:`~repro.errors.RemoteError`).  Version 4
+#: (this build) adds the cluster surface: the ``shard_map`` operation, the
+#: ``shard`` section of ``health`` payloads and the ``shard-unavailable``
+#: error code a cluster coordinator raises for a dead shard.
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: Default TCP port of ``python -m repro.server`` (the paper's year).
 DEFAULT_PORT = 2008
@@ -128,6 +140,7 @@ OPS = (
     "health",
     "stats",
     "metrics",
+    "shard_map",
     "confidence",
     "confidence_many",
     "confidence_batch",
@@ -142,6 +155,7 @@ OPS_SINCE_VERSION = {
     "health": 3,
     "what_if": 3,
     "metrics": 3,
+    "shard_map": 4,
 }
 
 #: Operations a client may safely retry after a transport failure.
@@ -160,6 +174,7 @@ IDEMPOTENT_OPS = frozenset(
         "health",
         "stats",
         "metrics",
+        "shard_map",
         "confidence",
         "confidence_many",
         "confidence_batch",
@@ -172,6 +187,7 @@ IDEMPOTENT_OPS = frozenset(
 ERROR_CODES: tuple[tuple[type[ReproError], str], ...] = (
     (DeadlineExceededError, "deadline-exceeded"),
     (OverloadedError, "overloaded"),
+    (ShardUnavailableError, "shard-unavailable"),
     (BudgetExceededError, "budget-exceeded"),
     (SQLSyntaxError, "sql-syntax"),
     (UnknownRelationError, "unknown-relation"),
@@ -243,6 +259,10 @@ def error_detail(exception: BaseException) -> dict:
         if exception.retry_after_ms is not None:
             return {"retry_after_ms": exception.retry_after_ms}
         return {}
+    if isinstance(exception, ShardUnavailableError):
+        if exception.shard is not None:
+            return {"shard": exception.shard}
+        return {}
     return {}
 
 
@@ -277,6 +297,8 @@ def exception_for(code: str, message: str, detail: dict | None = None) -> ReproE
         return DeadlineExceededError(message, deadline_ms=detail.get("deadline_ms"))
     if code == "overloaded":
         return OverloadedError(message, retry_after_ms=detail.get("retry_after_ms"))
+    if code == "shard-unavailable":
+        return ShardUnavailableError(message, shard=detail.get("shard"))
     plain: dict[str, type[ReproError]] = {
         "sql-syntax": SQLSyntaxError,
         "schema": SchemaError,

@@ -57,7 +57,8 @@ import time
 from dataclasses import replace
 from typing import TYPE_CHECKING
 
-from repro.db.session import ConfidenceRequest, SessionPool, target_from_payload
+from repro.db.api import target_from_payload
+from repro.db.session import ConfidenceRequest, SessionPool
 from repro.obs.metrics import MetricsRegistry, merge_snapshots, render_prometheus
 from repro.errors import (
     DeadlineExceededError,
@@ -264,6 +265,7 @@ class ConfidenceServer:
         max_queue: int | None = None,
         metrics_port: int | None = None,
         slow_query_ms: float | None = None,
+        shard_info: dict | None = None,
     ) -> None:
         self.database = database
         self._host = host
@@ -271,6 +273,12 @@ class ConfidenceServer:
         self._max_frame_bytes = max_frame_bytes
         self._metrics_port = metrics_port
         self._slow_query_ms = slow_query_ms
+        #: Cluster membership, when this server serves one shard of a
+        #: partitioned database: ``{"index": int, "shards": int, "map": dict}``
+        #: with ``map`` a :class:`~repro.cluster.partition.ShardMap` payload.
+        #: ``None`` on a stand-alone server — ``shard_map`` then answers
+        #: ``{"sharded": false}``.
+        self._shard_info = shard_info
         #: Server-side instruments (per-op latency histograms, request and
         #: error counters, pressure gauges).  The ``metrics`` op and the HTTP
         #: exposition endpoint merge this with the engine handle's registry.
@@ -588,6 +596,18 @@ class ConfidenceServer:
             # Lock-free like ``health``: metrics must stay scrapeable while
             # the gate is held exclusively or the admission queue is full.
             return self._metrics_payload()
+        if op == "shard_map":
+            # Lock-free: the shard map is immutable for the server's lifetime
+            # and a cluster coordinator bootstraps from it before any
+            # computation is admitted.
+            if self._shard_info is None:
+                return {"sharded": False}
+            return {
+                "sharded": True,
+                "shard": self._shard_info["index"],
+                "shards": self._shard_info["shards"],
+                "map": self._shard_info["map"],
+            }
         if op == "stats":
             # Shared gate: the database fields of the snapshot must not read
             # a half-swapped database during an exclusive assert.
@@ -697,7 +717,7 @@ class ConfidenceServer:
         checks must answer even while an exclusive ``assert`` or a saturated
         admission queue would stall a ``stats`` frame.
         """
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
             "protocol": PROTOCOL_VERSION,
             "inflight": self._inflight,
@@ -706,6 +726,12 @@ class ConfidenceServer:
             "max_queue": self._admission.max_queue,
             "uptime_seconds": time.monotonic() - self._started,
         }
+        if self._shard_info is not None:
+            payload["shard"] = {
+                "index": self._shard_info["index"],
+                "shards": self._shard_info["shards"],
+            }
+        return payload
 
     def _log_slow_query(self, op: str, started: float, payload: dict) -> None:
         """Emit one structured JSON line when a request overran the threshold.

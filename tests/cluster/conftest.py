@@ -1,0 +1,46 @@
+"""Fixtures for the cluster tests: a multi-component database and clusters.
+
+The workload is ``hardmix`` — several independent Figure 11a hard instances
+with per-group variable prefixes merged into one relation — because a
+cluster can only spread a database that *has* several descriptor-variable
+components; a single hard instance is usually one connected component and
+lands wholly on one shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.cluster.__main__ import build_cluster_database
+from repro.db.session import Session
+from repro.testing import faults
+
+HARDMIX_SPEC = "hardmix:groups=6,n=8,r=2,s=4,w=6,seed=1"
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """No fault armed by a chaos test may leak into its neighbours."""
+    faults.disarm_all()
+    yield
+    faults.disarm_all()
+
+
+@pytest.fixture(scope="session")
+def hardmix_db():
+    """A six-component hard database (relation ``HARD``, 36 rows)."""
+    return build_cluster_database(HARDMIX_SPEC)
+
+
+@pytest.fixture(scope="session")
+def single(hardmix_db):
+    """The single-node reference session every cluster answer must match."""
+    return Session(hardmix_db)
+
+
+@pytest.fixture
+def cluster(hardmix_db):
+    """A running three-shard cluster over the hardmix database."""
+    with LocalCluster(hardmix_db, shards=3) as running:
+        yield running

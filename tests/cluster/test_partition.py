@@ -1,0 +1,149 @@
+"""Tests of the component partitioner and its routing map.
+
+The partitioner's contract is bit-identity enablement: every
+descriptor-variable connected component lives wholly on one shard, relations
+with closed-form-sized simplified ws-sets are never split, materialised
+sub-relations hold the globally simplified component descriptors in the
+engine's fuse order, and the whole placement is deterministic in
+``(database, shards)`` so independently started shard processes agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ShardMap, component_relation_name, partition_database
+from repro.core.components import simplify_descriptors, split_components
+from repro.db.database import ProbabilisticDatabase
+from repro.errors import PartitionError, UnknownVariableError
+
+
+class TestPartitioning:
+    def test_every_variable_owned_by_exactly_one_shard(self, hardmix_db):
+        shard_dbs, shard_map = partition_database(hardmix_db, 3)
+        owned = [set(db.world_table.variables) for db in shard_dbs]
+        union = set().union(*owned)
+        assert union == set(hardmix_db.world_table.variables)
+        for a in range(3):
+            for b in range(a + 1, 3):
+                assert not owned[a] & owned[b]
+        assert set(shard_map.variables) == union
+
+    def test_rows_preserved_and_placed_with_their_variables(self, hardmix_db):
+        shard_dbs, shard_map = partition_database(hardmix_db, 3)
+        relation = hardmix_db.relation("HARD")
+        copies = [db.relation("HARD") for db in shard_dbs]
+        assert sum(len(copy) for copy in copies) == len(relation)
+        global_rows = {(row.descriptor, row.values) for row in relation}
+        shard_rows = {
+            (row.descriptor, row.values) for copy in copies for row in copy
+        }
+        assert shard_rows == global_rows
+        for shard, copy in enumerate(copies):
+            for row in copy:
+                owners = {
+                    shard_map.shard_of(variable)
+                    for variable in row.descriptor.variables
+                }
+                assert owners == {shard}
+
+    def test_components_never_straddle_shards(self, hardmix_db):
+        _, shard_map = partition_database(hardmix_db, 3)
+        relation = hardmix_db.relation("HARD")
+        simplified = simplify_descriptors(
+            [row.descriptor for row in relation]
+        )
+        components = split_components(simplified)
+        plan = shard_map.relations["HARD"]
+        assert len(plan.components) == len(components)
+        for members, shard in zip(components, plan.components):
+            owners = {
+                shard_map.shard_of(variable)
+                for descriptor in members
+                for variable in descriptor.variables
+            }
+            assert owners == {shard}
+
+    def test_deterministic_in_database_and_shard_count(self, hardmix_db):
+        _, first = partition_database(hardmix_db, 3)
+        _, second = partition_database(hardmix_db, 3)
+        assert first.to_payload() == second.to_payload()
+
+    def test_sub_relations_hold_simplified_components_in_fuse_order(
+        self, hardmix_db
+    ):
+        shard_dbs, shard_map = partition_database(hardmix_db, 3)
+        relation = hardmix_db.relation("HARD")
+        components = split_components(
+            simplify_descriptors([row.descriptor for row in relation])
+        )
+        plan = shard_map.relations["HARD"]
+        assert plan.spans_shards
+        for index, (members, shard) in enumerate(
+            zip(components, plan.components)
+        ):
+            sub = shard_dbs[shard].relation(component_relation_name("HARD", index))
+            assert [row.descriptor for row in sub] == members
+
+    def test_variable_components_cover_exactly_the_component_variables(
+        self, hardmix_db
+    ):
+        _, shard_map = partition_database(hardmix_db, 3)
+        plan = shard_map.relations["HARD"]
+        assert plan.variable_components is not None
+        relation = hardmix_db.relation("HARD")
+        components = split_components(
+            simplify_descriptors([row.descriptor for row in relation])
+        )
+        for variable, index in plan.variable_components.items():
+            assert any(
+                variable in descriptor.variables
+                for descriptor in components[index]
+            )
+
+    def test_map_payload_survives_a_json_round_trip(self, hardmix_db):
+        _, shard_map = partition_database(hardmix_db, 3)
+        payload = json.loads(json.dumps(shard_map.to_payload()))
+        rebuilt = ShardMap.from_payload(payload)
+        assert rebuilt.shards == shard_map.shards
+        assert rebuilt.variables == shard_map.variables
+        assert rebuilt.relations == shard_map.relations
+
+    def test_closed_form_sized_relation_is_never_split(self):
+        database = ProbabilisticDatabase()
+        world = database.world_table
+        for name in ("a", "b", "c", "d"):
+            world.add_variable(name, {0: 0.5, 1: 0.5})
+        relation = database.create_relation("SMALL", ("K",))
+        relation.add({"a": 1}, (1,))
+        relation.add({"b": 1}, (2,))
+        relation.add({"c": 1, "d": 0}, (3,))
+        _, shard_map = partition_database(database, 3)
+        plan = shard_map.relations["SMALL"]
+        # Three disjoint components, yet <= _CLOSED_FORM_LIMIT simplified
+        # descriptors: the engine answers this with one inclusion-exclusion
+        # over the whole set, so all of it must live on one shard.
+        assert not plan.spans_shards
+        owners = {shard_map.shard_of(v) for v in ("a", "b", "c", "d")}
+        assert owners == {plan.components[0]}
+
+    def test_certain_relation_routes_whole_to_its_home_shard(self):
+        database = ProbabilisticDatabase()
+        database.world_table.add_variable("x", {0: 0.5, 1: 0.5})
+        relation = database.create_relation("CERTAIN", ("K",))
+        relation.add({}, (1,))
+        relation.add({"x": 1}, (2,))
+        shard_dbs, shard_map = partition_database(database, 2)
+        plan = shard_map.relations["CERTAIN"]
+        assert plan.certain and not plan.spans_shards
+        home_copy = shard_dbs[plan.home].relation("CERTAIN")
+        assert any(row.descriptor.is_empty for row in home_copy)
+
+    def test_invalid_shard_count_and_unknown_variable(self, hardmix_db):
+        with pytest.raises(PartitionError):
+            partition_database(hardmix_db, 0)
+        _, shard_map = partition_database(hardmix_db, 2)
+        with pytest.raises(UnknownVariableError):
+            shard_map.shard_of("no-such-variable")

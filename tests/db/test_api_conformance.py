@@ -1,0 +1,128 @@
+"""One conformance suite, three deployments: local, server, cluster.
+
+Every :class:`~repro.db.api.ConfidenceAPI` implementation reachable through
+:func:`repro.connect` must answer the same calls with the same meanings —
+and, for exact computation, the same bits.  The suite is parametrized over
+the backend and never branches on it: if a test needs to know which backend
+it is running against, the API has leaked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cluster import LocalCluster
+from repro.cluster.__main__ import build_cluster_database
+from repro.core.engine import EngineStats
+from repro.core.wsset import WSSet
+from repro.db.session import ConfidenceRequest, ConfidenceResult, Session
+
+BACKENDS = ("local", "server", "cluster")
+
+
+@pytest.fixture(scope="module")
+def conformance_db():
+    return build_cluster_database("hardmix:groups=4,n=8,r=2,s=4,w=6,seed=2")
+
+
+@pytest.fixture(scope="module")
+def reference(conformance_db):
+    """Ground truth: a plain in-process session over the same database."""
+    return Session(conformance_db)
+
+
+@pytest.fixture(params=BACKENDS)
+def api_session(request, conformance_db):
+    """A ConfidenceAPI implementation, always obtained via ``repro.connect``."""
+    if request.param == "local":
+        session = repro.connect(conformance_db)
+        yield session
+        session.close()
+    elif request.param == "server":
+        from repro.cluster.bootstrap import _ShardThread
+
+        thread = _ShardThread(conformance_db, shard_info=None)
+        thread.start()
+        try:
+            with repro.connect(f"{thread.host}:{thread.port}") as session:
+                yield session
+        finally:
+            thread.stop(grace=0.0)
+    else:
+        with LocalCluster(conformance_db, shards=3) as cluster:
+            with repro.connect(
+                [f"{host}:{port}" for host, port in cluster.addresses]
+            ) as session:
+                yield session
+
+
+class TestConformance:
+    def test_implements_the_protocol(self, api_session):
+        assert isinstance(api_session, repro.ConfidenceAPI)
+
+    def test_confidence_of_relation_and_wsset(
+        self, api_session, reference, conformance_db
+    ):
+        assert (
+            api_session.confidence("HARD").value
+            == reference.confidence("HARD").value
+        )
+        descriptors = list(conformance_db.relation("HARD").descriptors())
+        target = WSSet(descriptors[:9])
+        result = api_session.confidence(target)
+        assert isinstance(result, ConfidenceResult)
+        assert result.value == reference.confidence(target).value
+        assert result.method == "exact"
+
+    def test_query_accepts_a_confidence_request(
+        self, api_session, reference, conformance_db
+    ):
+        descriptors = list(conformance_db.relation("HARD").descriptors())
+        request = ConfidenceRequest(WSSet(descriptors[:7]))
+        assert api_session.query(request).value == reference.query(request).value
+
+    def test_confidence_many_preserves_order(
+        self, api_session, reference, conformance_db
+    ):
+        descriptors = list(conformance_db.relation("HARD").descriptors())
+        targets = ["HARD", WSSet(descriptors[:4]), WSSet(descriptors[6:16])]
+        results = api_session.confidence_many(targets)
+        assert [r.value for r in results] == [
+            reference.confidence(t).value for t in targets
+        ]
+
+    def test_batch_and_tuple_selections(self, api_session, reference):
+        rows = api_session.confidence_batch("HARD")
+        expected = reference.confidence_batch("HARD")
+        assert [(r.values, r.confidence) for r in rows] == [
+            (r.values, r.confidence) for r in expected
+        ]
+        assert api_session.certain_tuples("HARD") == reference.certain_tuples(
+            "HARD"
+        )
+        got = api_session.possible_tuples("HARD", threshold=0.02)
+        want = reference.possible_tuples("HARD", threshold=0.02)
+        assert [(r.values, r.confidence) for r in got] == [
+            (r.values, r.confidence) for r in want
+        ]
+
+    def test_what_if_sweep(self, api_session, reference, conformance_db):
+        variable = next(iter(conformance_db.world_table.variables))
+        points = [0.1, 0.4, 0.8]
+        assert api_session.what_if("HARD", variable, points) == reference.what_if(
+            "HARD", variable, points
+        )
+
+    def test_statistics_reports_engine_work(self, api_session):
+        api_session.confidence("HARD")
+        stats = api_session.statistics()
+        assert isinstance(stats, EngineStats)
+        assert stats.computations > 0
+
+
+def test_connect_rejects_nonsense_targets():
+    with pytest.raises(ValueError):
+        repro.connect([])
+    with pytest.raises(TypeError):
+        repro.connect(42)

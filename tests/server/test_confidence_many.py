@@ -164,7 +164,7 @@ class TestProtocolVersioning:
     ):
         with running_server(ssn_database) as server:
             with connect(server.host, server.port) as session:
-                assert session.ping()["protocol"] == PROTOCOL_VERSION == 3
+                assert session.ping()["protocol"] == PROTOCOL_VERSION == 4
 
     def test_v1_frames_still_answered_and_echo_v1(
         self, running_server, ssn_database
